@@ -1,0 +1,63 @@
+// Command crld serves certificate revocation lists for a set of CAs over
+// HTTP at /crl/{ca}, optionally simulating the scrape protections some
+// production distribution points run.
+//
+// Usage:
+//
+//	crld [-addr :8785] [-seed-revocations N] [-fail-rate 0.02] [-now 2023-01-01]
+//
+// The server hosts the reproduction's built-in CA directory; each CA is
+// seeded with synthetic revocations across the standard reason codes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+
+	"stalecert/internal/ca"
+	"stalecert/internal/crl"
+	"stalecert/internal/simtime"
+	"stalecert/internal/x509sim"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8785", "listen address")
+	seedRevocations := flag.Int("seed-revocations", 100, "synthetic revocations per CA")
+	failRate := flag.Float64("fail-rate", 0.02, "per-request scrape-protection failure probability")
+	now := flag.String("now", "2023-01-01", "simulated current day (CRL thisUpdate)")
+	seed := flag.Int64("seed", 1, "randomness seed")
+	flag.Parse()
+
+	nowDay, err := simtime.Parse(*now)
+	if err != nil {
+		log.Fatalf("bad -now: %v", err)
+	}
+
+	srv := crl.NewServer(*seed)
+	srv.SetNow(nowDay)
+	rng := rand.New(rand.NewSource(*seed))
+
+	reasons := []crl.Reason{
+		crl.KeyCompromise, crl.Superseded, crl.CessationOfOperation,
+		crl.AffiliationChanged, crl.PrivilegeWithdrawn, crl.Unspecified,
+	}
+	dir := ca.NewDirectory()
+	for _, p := range dir.All() {
+		a := crl.NewAuthority(p.Name)
+		for i := 0; i < *seedRevocations; i++ {
+			a.Revoke(p.ID, x509sim.SerialNumber(i+1),
+				nowDay-simtime.Day(rng.Intn(365)), reasons[rng.Intn(len(reasons))])
+		}
+		srv.Host(a, *failRate)
+	}
+
+	fmt.Fprintf(os.Stderr, "crld: serving %d CAs on %s (fail-rate %.2f)\n", len(srv.Names()), *addr, *failRate)
+	for _, n := range srv.Names() {
+		fmt.Fprintf(os.Stderr, "  /crl/%s\n", n)
+	}
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -1,0 +1,81 @@
+// Command crlfetch performs daily CRL collections against a crld server and
+// prints the per-CA coverage table (the Appendix B accounting) plus a
+// revocation-reason histogram.
+//
+// Usage:
+//
+//	crlfetch -server http://127.0.0.1:8785 -cas Sectigo,DigiCert [-days 7] [-retries 2]
+//
+// With -cas omitted the built-in CA directory is fetched.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"time"
+
+	"stalecert/internal/ca"
+	"stalecert/internal/crl"
+)
+
+func main() {
+	server := flag.String("server", "http://127.0.0.1:8785", "crld base URL")
+	cas := flag.String("cas", "", "comma-separated CA names (default: built-in directory)")
+	days := flag.Int("days", 1, "number of daily collection rounds")
+	retries := flag.Int("retries", 2, "extra attempts per CRL per day")
+	timeout := flag.Duration("timeout", 30*time.Second, "overall timeout")
+	flag.Parse()
+
+	var names []string
+	if *cas != "" {
+		names = strings.Split(*cas, ",")
+	} else {
+		for _, p := range ca.NewDirectory().All() {
+			names = append(names, p.Name)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	ledger := crl.NewCoverageLedger()
+	fetcher := &crl.Fetcher{Base: *server, Ledger: ledger, Retries: *retries}
+
+	reasonCounts := map[crl.Reason]int{}
+	var total int
+	for day := 0; day < *days; day++ {
+		lists, err := fetcher.FetchAll(ctx, names)
+		if err != nil {
+			log.Fatalf("crlfetch: %v", err)
+		}
+		total = 0
+		for _, l := range lists {
+			total += len(l.Entries)
+			for _, e := range l.Entries {
+				reasonCounts[e.Reason]++
+			}
+		}
+	}
+
+	fmt.Println("CA Name                      Coverage        Percent")
+	fmt.Println("-------                      --------        -------")
+	for _, row := range ledger.Rows() {
+		fmt.Printf("%-28s %4d / %-4d     %6.2f%%\n", row.CAName, row.Succeeded, row.Attempted, row.Percent())
+	}
+	t := ledger.Total()
+	fmt.Printf("%-28s %4d / %-4d     %6.2f%%\n", "Total Coverage", t.Succeeded, t.Attempted, t.Percent())
+
+	fmt.Printf("\nrevocations in final round: %d\n", total)
+	reasons := make([]crl.Reason, 0, len(reasonCounts))
+	for r := range reasonCounts {
+		reasons = append(reasons, r)
+	}
+	sort.Slice(reasons, func(i, j int) bool { return reasons[i] < reasons[j] })
+	for _, r := range reasons {
+		fmt.Printf("  %-22s %d\n", r, reasonCounts[r])
+	}
+}

@@ -1,0 +1,73 @@
+// Command ctlogd serves an RFC 6962-style Certificate Transparency log over
+// HTTP: add-chain, get-sth, get-entries, get-proof-by-hash and
+// get-sth-consistency under /ct/v1/.
+//
+// Usage:
+//
+//	ctlogd [-addr :8784] [-name mylog] [-shard-start 2022-01-01 -shard-end 2023-01-01] [-seed-entries N]
+//
+// With -seed-entries the log is pre-populated with synthetic certificates so
+// ctscan has something to fetch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"stalecert/internal/ctlog"
+	"stalecert/internal/simtime"
+	"stalecert/internal/x509sim"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8784", "listen address")
+	name := flag.String("name", "stalecert-log", "log name")
+	shardStart := flag.String("shard-start", "", "shard start date (YYYY-MM-DD); empty = unsharded")
+	shardEnd := flag.String("shard-end", "", "shard end date (YYYY-MM-DD, exclusive)")
+	seedEntries := flag.Int("seed-entries", 0, "pre-populate with N synthetic certificates")
+	now := flag.String("now", "2023-01-01", "simulated current day for SCT timestamps")
+	flag.Parse()
+
+	var shard ctlog.Shard
+	if *shardStart != "" || *shardEnd != "" {
+		s, err := simtime.Parse(*shardStart)
+		if err != nil {
+			log.Fatalf("bad -shard-start: %v", err)
+		}
+		e, err := simtime.Parse(*shardEnd)
+		if err != nil {
+			log.Fatalf("bad -shard-end: %v", err)
+		}
+		shard = ctlog.Shard{Start: s, End: e}
+	}
+	nowDay, err := simtime.Parse(*now)
+	if err != nil {
+		log.Fatalf("bad -now: %v", err)
+	}
+
+	l := ctlog.New(*name, shard)
+	srv := ctlog.NewServer(l)
+	srv.SetNow(nowDay)
+
+	for i := 0; i < *seedEntries; i++ {
+		cert, err := x509sim.New(
+			x509sim.SerialNumber(i+1), 1, x509sim.KeyID(i+1),
+			[]string{fmt.Sprintf("seed%06d.example.com", i)},
+			nowDay-30, nowDay+60,
+		)
+		if err != nil {
+			log.Fatalf("seed cert: %v", err)
+		}
+		if _, err := l.AddChain(cert, nowDay-simtime.Day(i%30)); err != nil {
+			log.Fatalf("seed add-chain: %v", err)
+		}
+	}
+
+	sth := l.STH()
+	fmt.Fprintf(os.Stderr, "ctlogd: serving log %q (shard %s, size %d) on %s\n",
+		l.Name(), l.Shard(), sth.Size, *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

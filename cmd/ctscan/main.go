@@ -1,0 +1,75 @@
+// Command ctscan scrapes a CT log over HTTP, verifying the signed tree head
+// (and optionally every entry's inclusion proof), and prints a summary or
+// the full entry list.
+//
+// Usage:
+//
+//	ctscan -log http://127.0.0.1:8784 [-from N] [-verify] [-print]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"stalecert/internal/core"
+	"stalecert/internal/ctlog"
+	"stalecert/internal/x509sim"
+)
+
+func main() {
+	logURL := flag.String("log", "http://127.0.0.1:8784", "base URL of the CT log")
+	from := flag.Uint64("from", 0, "resume scraping at this entry index")
+	verify := flag.Bool("verify", false, "audit every entry's inclusion proof against the STH")
+	print := flag.Bool("print", false, "print each entry")
+	save := flag.String("save", "", "save scraped certificates to a corpus file")
+	timeout := flag.Duration("timeout", 30*time.Second, "overall scrape timeout")
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	client := ctlog.NewClient(*logURL, nil)
+	entries, sth, err := client.Scrape(ctx, ctlog.ScrapeOptions{From: *from, VerifyInclusion: *verify})
+	if err != nil {
+		log.Fatalf("ctscan: %v", err)
+	}
+
+	fmt.Fprintf(os.Stderr, "ctscan: log %q size=%d root=%s scraped=%d verified=%v\n",
+		sth.LogName, sth.Size, sth.Root, len(entries), *verify)
+	if *print {
+		for _, e := range entries {
+			fmt.Printf("%8d  %s  %v\n", e.Index, e.Timestamp, e.Cert.Names)
+		}
+	}
+
+	// Per-issuer summary.
+	byIssuer := map[uint16]int{}
+	precerts := 0
+	for _, e := range entries {
+		byIssuer[uint16(e.Cert.Issuer)]++
+		if e.Cert.Precert {
+			precerts++
+		}
+	}
+	fmt.Printf("entries: %d (%d precerts) across %d issuers\n", len(entries), precerts, len(byIssuer))
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			log.Fatalf("ctscan: %v", err)
+		}
+		defer f.Close()
+		certs := make([]*x509sim.Certificate, len(entries))
+		for i, e := range entries {
+			certs[i] = e.Cert
+		}
+		if err := core.WriteCerts(f, certs); err != nil {
+			log.Fatalf("ctscan: save: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "ctscan: wrote %d certificates to %s\n", len(certs), *save)
+	}
+}

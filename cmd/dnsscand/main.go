@@ -1,0 +1,134 @@
+// Command dnsscand is the active-DNS half of the pipeline: it can serve an
+// authoritative zone over UDP (-serve) and scan a domain list against a DNS
+// server (-scan), printing each domain's A/AAAA/NS/CNAME records and whether
+// it is delegated to a Cloudflare-style managed-TLS provider.
+//
+// Usage:
+//
+//	dnsscand -serve -zonefile com.zone [-addr 127.0.0.1:5353]
+//	dnsscand -scan -server 127.0.0.1:5353 -domains example.com,foo.com
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"stalecert/internal/dnsname"
+	"stalecert/internal/dnssim"
+)
+
+func main() {
+	serve := flag.Bool("serve", false, "serve a zone over UDP")
+	zonefile := flag.String("zonefile", "", "zone file to serve (master-file subset)")
+	apex := flag.String("apex", "com", "zone apex for -serve")
+	addr := flag.String("addr", "127.0.0.1:5353", "UDP listen address for -serve")
+
+	scan := flag.Bool("scan", false, "scan domains against a server")
+	server := flag.String("server", "127.0.0.1:5353", "DNS server address for -scan")
+	domains := flag.String("domains", "", "comma-separated domain list for -scan")
+	flag.Parse()
+
+	switch {
+	case *serve:
+		runServe(*zonefile, *apex, *addr)
+	case *scan:
+		runScan(*server, *domains)
+	default:
+		fmt.Fprintln(os.Stderr, "dnsscand: pass -serve or -scan")
+		os.Exit(2)
+	}
+}
+
+func runServe(zonefile, apex, addr string) {
+	var zone *dnssim.Zone
+	if zonefile == "" {
+		// Demo zone with one self-hosted and one CDN-delegated domain.
+		zone = dnssim.NewZone(apex)
+		for _, r := range []dnssim.Record{
+			{Name: "self." + apex, Type: dnssim.TypeNS, TTL: 86400, Data: "ns1.hoster.net"},
+			{Name: "self." + apex, Type: dnssim.TypeA, TTL: 300, Data: "198.51.100.7"},
+			{Name: "cdn." + apex, Type: dnssim.TypeNS, TTL: 86400, Data: "kiki.ns.cloudflare.com"},
+			{Name: "www.cdn." + apex, Type: dnssim.TypeCNAME, TTL: 300, Data: "cdn-" + apex + ".cdn.cloudflare.com"},
+		} {
+			if err := zone.Add(r); err != nil {
+				log.Fatalf("demo zone: %v", err)
+			}
+		}
+	} else {
+		text, err := os.ReadFile(zonefile)
+		if err != nil {
+			log.Fatalf("read zone file: %v", err)
+		}
+		zone, err = dnssim.ParseZoneFile(apex, string(text))
+		if err != nil {
+			log.Fatalf("parse zone file: %v", err)
+		}
+	}
+
+	store := dnssim.NewStore()
+	store.AddZone(zone)
+	srv := dnssim.NewServer(store)
+	bound, err := srv.Start(addr)
+	if err != nil {
+		log.Fatalf("start: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "dnsscand: serving zone %q (%d records) on %s\n", zone.Apex, zone.Len(), bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	_ = srv.Close()
+}
+
+func runScan(server, domainList string) {
+	if domainList == "" {
+		log.Fatal("dnsscand: -scan requires -domains")
+	}
+	var list []string
+	for _, d := range strings.Split(domainList, ",") {
+		list = append(list, dnsname.Canonical(strings.TrimSpace(d)))
+	}
+
+	r := &dnssim.Resolver{ServerAddr: server, Timeout: 2 * time.Second}
+	ws := &dnssim.WireScanner{Resolver: r}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	snap, err := ws.Scan(ctx, 0, list)
+	if err != nil {
+		log.Fatalf("scan: %v", err)
+	}
+
+	isCF := func(rec dnssim.Record) bool {
+		switch rec.Type {
+		case dnssim.TypeNS:
+			return dnsname.IsSubdomain(rec.Data, "ns.cloudflare.com")
+		case dnssim.TypeCNAME:
+			return dnsname.IsSubdomain(rec.Data, "cdn.cloudflare.com")
+		}
+		return false
+	}
+	for _, d := range list {
+		if !snap.Scanned(d) {
+			fmt.Printf("%-30s UNREACHABLE\n", d)
+			continue
+		}
+		tag := "self"
+		if snap.Matches(d, isCF) {
+			tag = "managed-tls"
+		}
+		fmt.Printf("%-30s %-12s %d records\n", d, tag, len(snap.Records(d)))
+		for _, rec := range snap.Records(d) {
+			fmt.Printf("    %s\n", rec)
+		}
+	}
+	counts := snap.CountByType()
+	fmt.Printf("totals: A=%d AAAA=%d NS=%d CNAME=%d\n",
+		counts[dnssim.TypeA], counts[dnssim.TypeAAAA], counts[dnssim.TypeNS], counts[dnssim.TypeCNAME])
+}

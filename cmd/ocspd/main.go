@@ -1,0 +1,54 @@
+// Command ocspd serves OCSP-style certificate status over HTTP (POST /ocsp),
+// backed by the built-in CA directory with synthetic revocations — the
+// online half of the revocation infrastructure that §2.4 shows clients
+// bypassing.
+//
+// Usage:
+//
+//	ocspd [-addr 127.0.0.1:8786] [-seed-revocations N] [-now 2023-01-01]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+
+	"stalecert/internal/ca"
+	"stalecert/internal/crl"
+	"stalecert/internal/revcheck"
+	"stalecert/internal/simtime"
+	"stalecert/internal/x509sim"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8786", "listen address")
+	seedRevocations := flag.Int("seed-revocations", 100, "synthetic revocations per CA")
+	now := flag.String("now", "2023-01-01", "simulated current day (producedAt)")
+	seed := flag.Int64("seed", 1, "randomness seed")
+	flag.Parse()
+
+	nowDay, err := simtime.Parse(*now)
+	if err != nil {
+		log.Fatalf("ocspd: bad -now: %v", err)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	auths := make(map[x509sim.IssuerID]*crl.Authority)
+	reasons := []crl.Reason{crl.KeyCompromise, crl.Superseded, crl.CessationOfOperation, crl.Unspecified}
+	for _, p := range ca.NewDirectory().All() {
+		a := crl.NewAuthority(p.Name)
+		for i := 0; i < *seedRevocations; i++ {
+			a.Revoke(p.ID, x509sim.SerialNumber(i+1),
+				nowDay-simtime.Day(rng.Intn(365)), reasons[rng.Intn(len(reasons))])
+		}
+		auths[p.ID] = a
+	}
+
+	responder := &revcheck.OCSPResponder{Authorities: auths}
+	responder.SetNow(nowDay)
+	fmt.Fprintf(os.Stderr, "ocspd: serving %d CAs on %s (POST /ocsp)\n", len(auths), *addr)
+	log.Fatal(http.ListenAndServe(*addr, responder.Handler()))
+}

@@ -1,0 +1,127 @@
+// Command stalewatch is the live stale-certificate monitor: it tails a CT
+// log for certificates covering watched domains and cross-checks WHOIS, DNS
+// and CRLs to alert on third-party staleness as it appears — the operational
+// tool the paper's retrospective pipelines suggest (§8, BygoneSSL).
+//
+// Usage:
+//
+//	stalewatch -log http://127.0.0.1:8784 [-whois 127.0.0.1:4343] [-dns 127.0.0.1:5353]
+//	           [-crl http://127.0.0.1:8785] [-domains a.com,b.com] [-interval 10s] [-once]
+//
+// Point it at cmd/ctlogd, cmd/whoisd, cmd/dnsscand and cmd/crld instances
+// (or real deployments of the same protocols).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"stalecert/internal/ca"
+	"stalecert/internal/crl"
+	"stalecert/internal/ctlog"
+	"stalecert/internal/dnsname"
+	"stalecert/internal/dnssim"
+	"stalecert/internal/monitor"
+	"stalecert/internal/revcheck"
+	"stalecert/internal/simtime"
+	"stalecert/internal/x509sim"
+)
+
+func main() {
+	logURL := flag.String("log", "http://127.0.0.1:8784", "CT log base URL")
+	whoisAddr := flag.String("whois", "", "WHOIS server address (empty disables the registrant-change check)")
+	dnsAddr := flag.String("dns", "", "authoritative DNS address (empty disables the departure check)")
+	crlURL := flag.String("crl", "", "CRL server base URL (empty disables the revocation check)")
+	domains := flag.String("domains", "", "comma-separated e2LDs to watch (empty watches everything)")
+	interval := flag.Duration("interval", 10*time.Second, "poll interval")
+	once := flag.Bool("once", false, "poll once and exit")
+	now := flag.String("now", "2023-01-01", "evaluation day")
+	marker := flag.String("marker", "cloudflaressl.com", "managed-TLS marker SAN suffix")
+	flag.Parse()
+
+	nowDay, err := simtime.Parse(*now)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stalewatch: bad -now: %v\n", err)
+		os.Exit(2)
+	}
+
+	client := ctlog.NewClient(*logURL, nil)
+	var watch []string
+	if *domains != "" {
+		watch = strings.Split(*domains, ",")
+	}
+	watcher := monitor.NewCTWatcher(client, watch...)
+
+	ev := &monitor.Evaluator{Now: nowDay, WhoisAddr: *whoisAddr, MarkerSuffix: *marker}
+	if *dnsAddr != "" {
+		ev.Resolver = &dnssim.Resolver{ServerAddr: *dnsAddr, Timeout: 2 * time.Second}
+		ev.IsProviderRecord = func(r dnssim.Record) bool {
+			switch r.Type {
+			case dnssim.TypeNS:
+				return dnsname.IsSubdomain(r.Data, "ns.cloudflare.com")
+			case dnssim.TypeCNAME:
+				return dnsname.IsSubdomain(r.Data, "cdn.cloudflare.com")
+			}
+			return false
+		}
+	}
+	if *crlURL != "" {
+		ev.Revocation = crlBackedChecker(*crlURL)
+	}
+
+	ctx := context.Background()
+	for {
+		hits, err := watcher.Poll(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stalewatch: poll: %v\n", err)
+		}
+		for _, hit := range hits {
+			alerts, err := ev.Evaluate(ctx, hit)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "stalewatch: evaluate %v: %v\n", hit.Domains, err)
+				continue
+			}
+			for _, a := range alerts {
+				fmt.Printf("ALERT %-22s %-20s serial=%d issuer=%d: %s\n",
+					a.Kind, a.Domain, a.Cert.Serial, a.Cert.Issuer, a.Detail)
+			}
+			if len(alerts) == 0 {
+				fmt.Printf("ok    entry=%d domains=%v names=%v\n", hit.Entry.Index, hit.Domains, hit.Entry.Cert.Names)
+			}
+		}
+		if *once {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// crlBackedChecker fetches fresh CRLs for the built-in CA directory on every
+// check round. For a monitoring loop the daily CRL set is small; a
+// production deployment would cache by nextUpdate.
+func crlBackedChecker(base string) revcheck.Checker {
+	dir := ca.NewDirectory()
+	var names []string
+	for _, p := range dir.All() {
+		names = append(names, p.Name)
+	}
+	return revcheck.CheckerFunc(func(cert *x509sim.Certificate, now simtime.Day) (revcheck.Status, crl.Reason, error) {
+		fetcher := &crl.Fetcher{Base: base}
+		lists, err := fetcher.FetchAll(context.Background(), names)
+		if err != nil {
+			return revcheck.StatusUnavailable, 0, err
+		}
+		for _, l := range lists {
+			for _, e := range l.Entries {
+				if e.Key() == cert.DedupKey() && e.RevokedAt <= now {
+					return revcheck.StatusRevoked, e.Reason, nil
+				}
+			}
+		}
+		return revcheck.StatusGood, 0, nil
+	})
+}

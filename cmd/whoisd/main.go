@@ -1,0 +1,64 @@
+// Command whoisd serves thin WHOIS records over TCP in the port-43 style,
+// backed by a simulated registry. A query client is built in (-query).
+//
+// Usage:
+//
+//	whoisd [-addr 127.0.0.1:4343] [-seed-domains N]
+//	whoisd -query example000001.com [-server 127.0.0.1:4343]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"stalecert/internal/registry"
+	"stalecert/internal/simtime"
+	"stalecert/internal/whois"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:4343", "TCP listen address")
+	seedDomains := flag.Int("seed-domains", 100, "synthetic registrations to seed")
+	query := flag.String("query", "", "query a domain against -server instead of serving")
+	server := flag.String("server", "127.0.0.1:4343", "server address for -query")
+	flag.Parse()
+
+	if *query != "" {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		rec, err := whois.Query(ctx, *server, *query)
+		if err != nil {
+			log.Fatalf("whoisd: %v", err)
+		}
+		fmt.Print(rec.Format())
+		return
+	}
+
+	reg := registry.New("com", "net")
+	base := simtime.MustParse("2021-01-01")
+	for i := 0; i < *seedDomains; i++ {
+		name := fmt.Sprintf("example%06d.com", i+1)
+		if _, err := reg.Register(name, fmt.Sprintf("registrant-%d", i+1), "GoDaddy",
+			base+simtime.Day(i%365), 1); err != nil {
+			log.Fatalf("seed: %v", err)
+		}
+	}
+	reg.Tick(base + 400)
+
+	srv := whois.NewServer(&whois.RegistrySource{Registry: reg})
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		log.Fatalf("whoisd: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "whoisd: serving %d domains on %s\n", *seedDomains, bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	_ = srv.Close()
+}

@@ -1,0 +1,119 @@
+// CDN migration: the managed-TLS departure scenario (§5.3) built by hand
+// from the substrates, with every network interaction over a real socket.
+//
+// A customer domain delegates to a Cloudflare-style CDN, which obtains a
+// managed certificate carrying its sni<N> marker SAN. A daily scanner
+// resolves the domain over UDP. When the customer migrates away, the
+// day-over-day DNS diff flags the departure — and the provider still holds
+// the key of a valid certificate for a domain it no longer serves.
+//
+// Run with:
+//
+//	go run ./examples/cdnmigration
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"stalecert"
+	"stalecert/internal/ca"
+	"stalecert/internal/cdn"
+	"stalecert/internal/ctlog"
+	"stalecert/internal/dnssim"
+	"stalecert/internal/simtime"
+	"stalecert/internal/x509sim"
+)
+
+func main() {
+	// Substrate: a .com registry zone served over UDP.
+	store := dnssim.NewStore()
+	com := dnssim.NewZone("com")
+	store.AddZone(com)
+	must(com.Add(dnssim.Record{Name: "shop.com", Type: dnssim.TypeNS, TTL: 86400, Data: "ns1.hoster.net"}))
+	must(com.Add(dnssim.Record{Name: "shop.com", Type: dnssim.TypeA, TTL: 300, Data: "198.51.100.7"}))
+
+	dnsSrv := dnssim.NewServer(store)
+	addr, err := dnsSrv.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dnsSrv.Close()
+	fmt.Printf("authoritative DNS for .com on %s\n", addr)
+
+	// A CT log collection and the provider's CA.
+	logs := ctlog.NewCollection(ctlog.New("example-log", ctlog.Shard{}))
+	var keyCounter atomic.Uint64
+	cloudflareCA := ca.New(ca.Config{
+		Profile: ca.Profile{ID: ca.IssuerCloudflareECC, Name: "CloudFlare ECC CA-2", DefaultLifetime: 365},
+		Logs:    logs,
+		NewKey:  func() x509sim.KeyID { return x509sim.KeyID(keyCounter.Add(1)) },
+	})
+
+	provider := cdn.New(cdn.Config{
+		Name:         "cloudflare",
+		NameServers:  []string{"kiki.ns.cloudflare.com", "uma.ns.cloudflare.com"},
+		EdgeSuffix:   "cdn.cloudflare.com",
+		MarkerSuffix: "cloudflaressl.com",
+		PerDomainCA:  cloudflareCA,
+		Store:        store,
+		EdgeIPs:      []string{"104.16.0.1"},
+	})
+
+	// Day 100: shop.com enrolls. The provider installs NS delegation and
+	// obtains a managed certificate it fully controls.
+	enrollDay := simtime.Day(100)
+	cert, err := provider.Enroll("shop.com", cdn.ModeNS, enrollDay)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("day %s: enrolled; managed cert SANs=%v validity=%s..%s\n",
+		enrollDay, cert.Names, cert.NotBefore, cert.NotAfter)
+
+	// The daily scanner resolves the domain over the wire.
+	scanner := &dnssim.WireScanner{Resolver: &dnssim.Resolver{ServerAddr: addr.String(), Timeout: 2 * time.Second}}
+	ctx := context.Background()
+	snapshots := &dnssim.SnapshotStore{}
+	scanDay := func(day simtime.Day) {
+		snap, err := scanner.Scan(ctx, day, []string{"shop.com"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		must(snapshots.Add(snap))
+	}
+	scanDay(200) // provider present
+
+	// Day 201: the customer migrates to self-hosting. The provider removes
+	// its delegation but keeps every key it ever held.
+	departDay := simtime.Day(201)
+	if err := provider.Depart("shop.com", departDay); err != nil {
+		log.Fatal(err)
+	}
+	must(com.Add(dnssim.Record{Name: "shop.com", Type: dnssim.TypeNS, TTL: 86400, Data: "ns1.newhost.net"}))
+	scanDay(departDay)
+
+	// The day-over-day diff finds the departure.
+	departures := snapshots.Departures(provider.IsProviderRecord)
+	fmt.Printf("day %s: scanner diff found %d departure(s): %+v\n", departDay, len(departures), departures)
+
+	// Join against the CT corpus: the marker-SAN certificate is still valid.
+	certs, _ := logs.Dedup()
+	corpus := stalecert.NewCorpus(certs, stalecert.CorpusOptions{})
+	stale := stalecert.DetectManagedTLSDeparture(corpus, departures, provider.IsManagedCert)
+	for _, s := range stale {
+		fmt.Printf("STALE: %v — provider keeps a valid key for %s for %d more days\n",
+			s.Cert.Names, s.Domain, s.StalenessDays())
+	}
+	if len(stale) == 0 {
+		log.Fatal("expected a stale certificate")
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

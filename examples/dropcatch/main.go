@@ -1,0 +1,109 @@
+// Drop-catch: the domain registrant-change scenario (§5.2) end to end.
+//
+// Alice registers a domain, gets a one-year certificate, and lets the domain
+// lapse. It passes through grace, redemption and pending-delete; a
+// drop-catcher re-registers it for Bob. Daily WHOIS collection — over a real
+// TCP port-43 server — observes the new registry creation date, and the
+// detector finds Alice's still-valid certificate spanning the change: Alice
+// can impersonate Bob's new site.
+//
+// Run with:
+//
+//	go run ./examples/dropcatch
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"stalecert"
+	"stalecert/internal/ca"
+	"stalecert/internal/ctlog"
+	"stalecert/internal/registry"
+	"stalecert/internal/simtime"
+	"stalecert/internal/whois"
+	"stalecert/internal/x509sim"
+)
+
+func main() {
+	reg := registry.New("com")
+	logs := ctlog.NewCollection(ctlog.New("example-log", ctlog.Shard{}))
+	var keyCounter atomic.Uint64
+	issuer := ca.New(ca.Config{
+		Profile: ca.Profile{ID: ca.IssuerGoDaddy, Name: "GoDaddy", DefaultLifetime: 365},
+		Logs:    logs,
+		NewKey:  func() x509sim.KeyID { return x509sim.KeyID(keyCounter.Add(1)) },
+	})
+
+	// Day 0: Alice registers bargain.com and gets a 365-day certificate.
+	day0 := simtime.MustParse("2020-01-01")
+	if _, err := reg.Register("bargain.com", "alice", "GoDaddy", day0, 1); err != nil {
+		log.Fatal(err)
+	}
+	aliceCert, err := issuer.Issue(ca.Request{Account: "acct:alice", Names: []string{"bargain.com", "www.bargain.com"}},
+		day0+200) // renewed mid-year: valid well past the domain's expiry
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: alice registered bargain.com; cert valid %s..%s\n",
+		day0, aliceCert.NotBefore, aliceCert.NotAfter)
+
+	// WHOIS server over TCP, as the bulk collector sees it.
+	srv := whois.NewServer(&whois.RegistrySource{Registry: reg})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	archive := whois.NewArchive()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	observe := func(day simtime.Day) {
+		reg.Tick(day)
+		rec, err := whois.Query(ctx, addr.String(), "bargain.com")
+		if err != nil {
+			fmt.Printf("%s: whois: %v\n", day, err)
+			return
+		}
+		archive.ObserveRecord(rec)
+		fmt.Printf("%s: whois created=%s status=%s\n", day, rec.Created, rec.Status)
+	}
+
+	observe(day0 + 100) // registered, creation date = day0
+
+	// Alice walks away. The lifecycle runs: expiry → grace(45) →
+	// redemption(30) → pendingDelete(5) → released.
+	expiry := day0 + 365
+	release := expiry + registry.GraceDays + registry.RedemptionDays + registry.PendingDeleteDays + 1
+	observe(expiry + 10) // autoRenewPeriod
+	reg.Tick(release)
+
+	// The drop-catch service grabs it for Bob the moment it drops.
+	if _, err := reg.Register("bargain.com", "bob", "DropCatch", release, 1); err != nil {
+		log.Fatal(err)
+	}
+	observe(release + 1) // new creation date visible
+
+	// Detection: join WHOIS re-registrations against the CT corpus.
+	events := archive.ReRegistrations()
+	fmt.Printf("\nWHOIS archive: %d re-registration event(s): %+v\n", len(events), events)
+
+	certs, _ := logs.Dedup()
+	corpus := stalecert.NewCorpus(certs, stalecert.CorpusOptions{})
+	stale := stalecert.DetectRegistrantChange(corpus, events)
+	for _, s := range stale {
+		fmt.Printf("STALE: alice still holds a valid key for %s — %d days of potential impersonation of bob's site\n",
+			s.Domain, s.StalenessDays())
+	}
+	if len(stale) == 0 {
+		log.Fatal("expected a stale certificate")
+	}
+
+	// What would a 90-day maximum lifetime have done?
+	capped := stalecert.SimulateCap(stale, 90)
+	fmt.Printf("with a 90-day cap: %d of %d stale certs remain (%.0f%% staleness-days removed)\n",
+		capped.RemainingStale, capped.StaleCerts, capped.StalenessDayReductionPct())
+}

@@ -1,0 +1,127 @@
+// Interception: the complete threat chain from §3.4 and §2.4, over real
+// sockets — and why certificate lifetimes are the only working defence.
+//
+// A customer departs a managed-TLS provider. The provider (now an untrusted
+// third party under the paper's worst-case analysis) still holds the key of
+// a valid certificate naming the domain. An on-path position lets it
+// terminate TLS for the domain: the handshake passes name, validity, trust
+// and key-possession checks in every browser profile. Revocation does not
+// save the user: Chrome never checks, and Firefox's soft-fail is defeated by
+// blackholing the OCSP/CRL traffic. Only a CRLite-style local filter — or an
+// earlier expiry — ends the exposure.
+//
+// Run with:
+//
+//	go run ./examples/interception
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"stalecert/internal/crl"
+	"stalecert/internal/revcheck"
+	"stalecert/internal/simtime"
+	"stalecert/internal/tlssim"
+	"stalecert/internal/x509sim"
+)
+
+func main() {
+	// The stale certificate: issued to the provider while it managed
+	// shop.com; the customer departed on day 150, the cert runs to day 420.
+	staleCert, err := x509sim.New(1001, 4, 77,
+		[]string{"sni9.cloudflaressl.com", "shop.com", "*.shop.com"}, 56, 420)
+	if err != nil {
+		log.Fatal(err)
+	}
+	departure := simtime.Day(150)
+	today := simtime.Day(300)
+	fmt.Printf("stale cert: %v, valid %s..%s; customer departed %s (%d stale days left)\n",
+		staleCert.Names, staleCert.NotBefore, staleCert.NotAfter, departure, staleCert.NotAfter-today)
+
+	// The CA has even revoked it (say the departure was reported).
+	authority := crl.NewAuthority("CloudFlare ECC CA-2")
+	authority.Revoke(staleCert.Issuer, staleCert.Serial, departure+10, crl.CessationOfOperation)
+	checker := &revcheck.CRLChecker{Authorities: map[x509sim.IssuerID]*crl.Authority{staleCert.Issuer: authority}}
+
+	// The provider terminates TLS for www.shop.com on an on-path listener.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				_, _ = tlssim.Serve(conn, tlssim.ServerConfig{
+					Cert:   staleCert,
+					Secret: tlssim.KeySecret(staleCert.Key), // the third party HAS the key
+					Echo:   []byte("page served by the former provider"),
+				})
+			}()
+		}
+	}()
+
+	connect := func(name string, profile revcheck.Profile, c revcheck.Checker) {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer conn.Close()
+		info, err := tlssim.Dial(conn, tlssim.ClientConfig{
+			ServerName:     "www.shop.com",
+			Now:            today,
+			TrustedIssuers: map[x509sim.IssuerID]bool{staleCert.Issuer: true},
+			Profile:        profile,
+			Checker:        c,
+		})
+		if err != nil {
+			fmt.Printf("  %-28s REJECTED (%v)\n", name, err)
+			return
+		}
+		fmt.Printf("  %-28s ACCEPTED — got %q\n", name, info.AppData)
+	}
+
+	fmt.Println("\nbrowsers connecting to www.shop.com through the third party:")
+	connect("Chrome (no revocation)", revcheck.ProfileChrome, checker)
+	connect("Firefox (OCSP reachable)", revcheck.ProfileFirefox, checker)
+	fmt.Println("\n...now the on-path attacker blackholes revocation traffic:")
+	connect("Firefox (OCSP blocked)", revcheck.ProfileFirefox, revcheck.Intercepted(checker))
+	connect("Safari (OCSP blocked)", revcheck.ProfileSafari, revcheck.Intercepted(checker))
+
+	// CRLite: the revocation set ships to the client; no traffic to block.
+	fmt.Println("\n...a client with a CRLite-style local filter:")
+	good, _ := x509sim.New(1002, 4, 78, []string{"elsewhere.com"}, 56, 420)
+	filter, err := revcheck.BuildCRLiteFilter(
+		[]*x509sim.Certificate{staleCert, good},
+		func(c *x509sim.Certificate) bool {
+			_, revoked := authority.IsRevoked(c.DedupKey())
+			return revoked
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  (filter: %d levels, %d bytes)\n", filter.NumLevels(), filter.SizeBytes())
+	connect("CRLite hard-fail client", revcheck.ProfileStrict, revcheck.CRLiteChecker(filter))
+
+	// And the lifetime lever: with a 90-day maximum the certificate would
+	// already be expired today.
+	capped := staleCert.Clone()
+	capped.NotAfter = capped.NotBefore + 89
+	fmt.Printf("\nwith a 90-day maximum lifetime the cert expires %s — %s is past it; exposure window shrinks from %d to %d days\n",
+		capped.NotAfter, today,
+		int(staleCert.NotAfter-departure), maxInt(0, int(capped.NotAfter-departure)))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

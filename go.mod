@@ -1,0 +1,3 @@
+module stalecert
+
+go 1.22

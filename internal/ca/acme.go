@@ -1,0 +1,176 @@
+package ca
+
+import (
+	"context"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"stalecert/internal/dnssim"
+	"stalecert/internal/simtime"
+)
+
+// This file implements the ACME-flavoured DV challenge machinery (§2.2,
+// Figure 1): the CA derives a nonce (token) for a (domain, account) pair,
+// the subscriber provisions it in DNS or HTTP, and the CA verifies it
+// through the network before issuing.
+
+// Token derives the deterministic challenge token for a (domain, account)
+// pair. Determinism replaces the random nonce so simulations are
+// reproducible; unforgeability is preserved by the keyed hash.
+func Token(domain, account string) string {
+	m := hmac.New(sha256.New, []byte("acme-challenge-key"))
+	io.WriteString(m, domain)
+	m.Write([]byte{0})
+	io.WriteString(m, account)
+	return hex.EncodeToString(m.Sum(nil))[:43] // ACME tokens are 43 base64url chars
+}
+
+// ChallengeLabel is the DNS owner prefix for dns-01 challenges.
+const ChallengeLabel = "_acme-challenge"
+
+// WellKnownPath is the URL prefix for http-01 challenges.
+const WellKnownPath = "/.well-known/acme-challenge/"
+
+// DNS01Validator verifies dns-01 challenges: a TXT record at
+// _acme-challenge.<domain> must carry the expected token. Query is
+// injectable so the check can run over the wire (dnssim.Resolver) or
+// directly against a zone store.
+type DNS01Validator struct {
+	Query func(name string, t dnssim.RRType) ([]dnssim.Record, error)
+}
+
+// WireDNS01 builds a DNS01Validator that queries over UDP.
+func WireDNS01(r *dnssim.Resolver) *DNS01Validator {
+	return &DNS01Validator{Query: func(name string, t dnssim.RRType) ([]dnssim.Record, error) {
+		return r.Query(context.Background(), name, t)
+	}}
+}
+
+// DirectDNS01 builds a DNS01Validator that reads a zone store in-process.
+func DirectDNS01(store *dnssim.Store) *DNS01Validator {
+	return &DNS01Validator{Query: func(name string, t dnssim.RRType) ([]dnssim.Record, error) {
+		recs, rcode, _ := store.Resolve(dnssim.Question{Name: name, Type: t, Class: dnssim.ClassIN})
+		if rcode != dnssim.RCodeNoError {
+			return nil, fmt.Errorf("ca: dns rcode %v", rcode)
+		}
+		return recs, nil
+	}}
+}
+
+// ValidateControl implements Validator.
+func (v *DNS01Validator) ValidateControl(domain, account string, _ simtime.Day) error {
+	want := Token(domain, account)
+	recs, err := v.Query(ChallengeLabel+"."+domain, dnssim.TypeTXT)
+	if err != nil {
+		return fmt.Errorf("ca: dns-01 query: %w", err)
+	}
+	for _, r := range recs {
+		if r.Data == want {
+			return nil
+		}
+	}
+	return fmt.Errorf("ca: dns-01 token not found for %q", domain)
+}
+
+// SolveDNS01 provisions the dns-01 TXT record for (domain, account) in the
+// given zone — the subscriber side of the challenge.
+func SolveDNS01(z *dnssim.Zone, domain, account string) error {
+	return z.Add(dnssim.Record{
+		Name: ChallengeLabel + "." + domain,
+		Type: dnssim.TypeTXT,
+		TTL:  60,
+		Data: Token(domain, account),
+	})
+}
+
+// CleanupDNS01 removes the challenge record after issuance.
+func CleanupDNS01(z *dnssim.Zone, domain string) {
+	z.Remove(ChallengeLabel+"."+domain, dnssim.TypeTXT, "")
+}
+
+// HTTP01Validator verifies http-01 challenges: an HTTP GET to
+// http://<domain>/.well-known/acme-challenge/<token> must return the token.
+// Endpoint maps a domain to the base URL of its web server (in production
+// this is DNS + port 80; in the simulator it is the test server address).
+type HTTP01Validator struct {
+	Endpoint func(domain string) (string, error)
+	Client   *http.Client
+}
+
+// ValidateControl implements Validator.
+func (v *HTTP01Validator) ValidateControl(domain, account string, _ simtime.Day) error {
+	base, err := v.Endpoint(domain)
+	if err != nil {
+		return fmt.Errorf("ca: http-01 endpoint: %w", err)
+	}
+	token := Token(domain, account)
+	hc := v.Client
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Get(base + WellKnownPath + token)
+	if err != nil {
+		return fmt.Errorf("ca: http-01 fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("ca: http-01 status %d for %q", resp.StatusCode, domain)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1024))
+	if err != nil {
+		return err
+	}
+	if strings.TrimSpace(string(body)) != token {
+		return fmt.Errorf("ca: http-01 token mismatch for %q", domain)
+	}
+	return nil
+}
+
+// ChallengeHost is the subscriber-side http-01 responder: an http.Handler
+// serving provisioned tokens under the well-known path.
+type ChallengeHost struct {
+	mu     sync.RWMutex
+	tokens map[string]bool
+}
+
+// NewChallengeHost creates an empty responder.
+func NewChallengeHost() *ChallengeHost {
+	return &ChallengeHost{tokens: make(map[string]bool)}
+}
+
+// Present provisions the token for (domain, account).
+func (h *ChallengeHost) Present(domain, account string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.tokens[Token(domain, account)] = true
+}
+
+// Remove deprovisions the token.
+func (h *ChallengeHost) Remove(domain, account string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.tokens, Token(domain, account))
+}
+
+// ServeHTTP implements http.Handler.
+func (h *ChallengeHost) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !strings.HasPrefix(r.URL.Path, WellKnownPath) {
+		http.NotFound(w, r)
+		return
+	}
+	token := strings.TrimPrefix(r.URL.Path, WellKnownPath)
+	h.mu.RLock()
+	ok := h.tokens[token]
+	h.mu.RUnlock()
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	_, _ = io.WriteString(w, token)
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"sort"
+
+	"stalecert/internal/crl"
+	"stalecert/internal/dnssim"
+	"stalecert/internal/simtime"
+	"stalecert/internal/whois"
+	"stalecert/internal/x509sim"
+)
+
+// Method is a stale-certificate detection pipeline (the rows of Table 4).
+type Method uint8
+
+// Detection methods.
+const (
+	MethodRevocation       Method = iota // Revoked: all
+	MethodKeyCompromise                  // Revoked: key compromise
+	MethodRegistrantChange               // Domain registrant change
+	MethodManagedTLS                     // Managed TLS departure
+)
+
+// String names the method as in Table 4.
+func (m Method) String() string {
+	switch m {
+	case MethodRevocation:
+		return "Revoked: all"
+	case MethodKeyCompromise:
+		return "Revoked: key compromise"
+	case MethodRegistrantChange:
+		return "Domain registrant change"
+	case MethodManagedTLS:
+		return "Managed TLS departure"
+	}
+	return "method?"
+}
+
+// StaleCert is one detected stale certificate: a valid certificate whose
+// subscriber information was nullified by an invalidation event on EventDay.
+type StaleCert struct {
+	Cert     *x509sim.Certificate
+	Method   Method
+	EventDay simtime.Day
+	// Domain is the affected e2LD for domain-scoped events (registrant
+	// change, managed TLS); empty for revocations, which affect every name.
+	Domain string
+	// Reason carries the revocation reason for revocation-based detections.
+	Reason crl.Reason
+}
+
+// StalenessDays is the abusable window: event day through notAfter
+// (inclusive), the paper's staleness period.
+func (s StaleCert) StalenessDays() int {
+	d := int(s.Cert.NotAfter - s.EventDay + 1)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// DaysFromIssuance is how far into the certificate's life the invalidation
+// event occurred (the Figure 8 survival variable).
+func (s StaleCert) DaysFromIssuance() int {
+	return int(s.EventDay - s.Cert.NotBefore)
+}
+
+// RevocationFilterCutoff is the paper's outlier filter: revocations before
+// 2021-10-01 (13 months before CRL collection began) are discarded.
+var RevocationFilterCutoff = simtime.MustParse("2021-10-01")
+
+// RevocationStats accounts for the §4.1 filtering steps.
+type RevocationStats struct {
+	TotalRevocations   int // CRL entries seen
+	MatchedInCT        int // joined against the corpus
+	RevokedBeforeValid int
+	RevokedAfterExpiry int
+	BeforeCutoff       int
+	Kept               int
+}
+
+// DetectRevoked joins CRL revocations against the CT corpus and applies the
+// paper's outlier filters, returning every revocation-stale certificate
+// (Method MethodRevocation, with key-compromise entries additionally
+// duplicated under MethodKeyCompromise by callers that need the split —
+// use SplitKeyCompromise).
+func DetectRevoked(corpus *Corpus, entries []crl.Entry, cutoff simtime.Day) ([]StaleCert, RevocationStats) {
+	stats := RevocationStats{TotalRevocations: len(entries)}
+	var out []StaleCert
+	for _, e := range entries {
+		cert, ok := corpus.ByKey(e.Key())
+		if !ok {
+			continue // not in CT: cannot analyse (paper: cross-reference with CT)
+		}
+		stats.MatchedInCT++
+		switch {
+		case e.RevokedAt < cert.NotBefore:
+			stats.RevokedBeforeValid++
+			continue
+		case e.RevokedAt > cert.NotAfter:
+			stats.RevokedAfterExpiry++
+			continue
+		case cutoff != simtime.NoDay && e.RevokedAt < cutoff:
+			stats.BeforeCutoff++
+			continue
+		}
+		stats.Kept++
+		out = append(out, StaleCert{
+			Cert:     cert,
+			Method:   MethodRevocation,
+			EventDay: e.RevokedAt,
+			Reason:   e.Reason,
+		})
+	}
+	sortStale(out)
+	return out, stats
+}
+
+// SplitKeyCompromise extracts the key-compromise subset of revocation-stale
+// certificates, relabelled under MethodKeyCompromise.
+func SplitKeyCompromise(revoked []StaleCert) []StaleCert {
+	var out []StaleCert
+	for _, s := range revoked {
+		if s.Reason == crl.KeyCompromise {
+			s.Method = MethodKeyCompromise
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// DetectRegistrantChange finds certificates whose validity spans a public
+// re-registration: notBefore < registryCreationDate < notAfter (§4.2). The
+// prior registrant keeps the keys while the new registrant owns the domain.
+func DetectRegistrantChange(corpus *Corpus, events []whois.ReRegistration) []StaleCert {
+	var out []StaleCert
+	for _, ev := range events {
+		for _, cert := range corpus.ByE2LD(ev.Domain) {
+			if cert.NotBefore < ev.NewCreation && ev.NewCreation < cert.NotAfter {
+				out = append(out, StaleCert{
+					Cert:     cert,
+					Method:   MethodRegistrantChange,
+					EventDay: ev.NewCreation,
+					Domain:   ev.Domain,
+				})
+			}
+		}
+	}
+	sortStale(out)
+	return out
+}
+
+// ManagedCertPred reports whether a certificate is provider-managed (e.g.
+// carries an sni*.cloudflaressl.com marker SAN).
+type ManagedCertPred func(*x509sim.Certificate) bool
+
+// DetectManagedTLSDeparture finds provider-managed certificates that are
+// still valid when their customer domain's delegation to the provider
+// disappears between consecutive daily scans (§4.3).
+func DetectManagedTLSDeparture(corpus *Corpus, departures []dnssim.Departure, isManaged ManagedCertPred) []StaleCert {
+	var out []StaleCert
+	for _, dep := range departures {
+		for _, cert := range corpus.ByE2LD(dep.Domain) {
+			if !isManaged(cert) {
+				continue
+			}
+			if cert.ValidOn(dep.FirstGone) {
+				out = append(out, StaleCert{
+					Cert:     cert,
+					Method:   MethodManagedTLS,
+					EventDay: dep.FirstGone,
+					Domain:   dep.Domain,
+				})
+			}
+		}
+	}
+	sortStale(out)
+	return out
+}
+
+func sortStale(s []StaleCert) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].EventDay != s[j].EventDay {
+			return s[i].EventDay < s[j].EventDay
+		}
+		if s[i].Cert.Issuer != s[j].Cert.Issuer {
+			return s[i].Cert.Issuer < s[j].Cert.Issuer
+		}
+		return s[i].Cert.Serial < s[j].Cert.Serial
+	})
+}
+
+// Summary is one Table 4 row: distinct stale certificates, FQDNs, and e2LDs
+// with average daily rates over the detection date range.
+type Summary struct {
+	Method Method
+	Range  simtime.Span
+	Certs  int
+	FQDNs  int
+	E2LDs  int
+}
+
+// Days returns the detection range length in days.
+func (s Summary) Days() int { return s.Range.Len() }
+
+// CertsPerDay returns the average daily stale-certificate rate.
+func (s Summary) CertsPerDay() float64 { return perDay(s.Certs, s.Days()) }
+
+// FQDNsPerDay returns the average daily stale-FQDN rate.
+func (s Summary) FQDNsPerDay() float64 { return perDay(s.FQDNs, s.Days()) }
+
+// E2LDsPerDay returns the average daily stale-e2LD rate.
+func (s Summary) E2LDsPerDay() float64 { return perDay(s.E2LDs, s.Days()) }
+
+func perDay(n, days int) float64 {
+	if days == 0 {
+		return 0
+	}
+	return float64(n) / float64(days)
+}
+
+// Summarize computes a Table 4 row over detections from one method.
+// The span is [start, end) of the detection window.
+func Summarize(corpus *Corpus, stale []StaleCert, method Method, window simtime.Span) Summary {
+	certs := make(map[x509sim.Fingerprint]bool)
+	fqdns := make(map[string]bool)
+	e2lds := make(map[string]bool)
+	for _, s := range stale {
+		if s.Method != method {
+			continue
+		}
+		certs[s.Cert.Fingerprint()] = true
+		if s.Domain != "" {
+			// Domain-scoped events: count names under the affected e2LD.
+			e2lds[s.Domain] = true
+			for _, n := range s.Cert.Names {
+				base := trimWildcard(n)
+				if e2, err := corpus.PSL().ETLDPlusOne(base); err == nil && e2 == s.Domain {
+					fqdns[base] = true
+				}
+			}
+		} else {
+			// Revocations: every name on the certificate is affected.
+			for _, n := range s.Cert.Names {
+				base := trimWildcard(n)
+				fqdns[base] = true
+				if e2, err := corpus.PSL().ETLDPlusOne(base); err == nil {
+					e2lds[e2] = true
+				}
+			}
+		}
+	}
+	return Summary{Method: method, Range: window, Certs: len(certs), FQDNs: len(fqdns), E2LDs: len(e2lds)}
+}
+
+func trimWildcard(n string) string {
+	if len(n) > 2 && n[0] == '*' && n[1] == '.' {
+		return n[2:]
+	}
+	return n
+}

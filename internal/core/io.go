@@ -1,0 +1,87 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"stalecert/internal/x509sim"
+)
+
+// Corpus persistence: a length-framed stream of certificate encodings with a
+// small header, so scraped corpora can be saved by cmd/ctscan and reloaded
+// by analysis runs without re-scraping.
+
+var corpusMagic = [8]byte{'s', 't', 'a', 'l', 'e', 'c', 'r', '1'}
+
+// ErrBadCorpusFile marks a stream that is not a corpus dump.
+var ErrBadCorpusFile = errors.New("core: not a corpus stream")
+
+// WriteCerts writes a certificate stream to w.
+func WriteCerts(w io.Writer, certs []*x509sim.Certificate) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(corpusMagic[:]); err != nil {
+		return err
+	}
+	var count [8]byte
+	binary.BigEndian.PutUint64(count[:], uint64(len(certs)))
+	if _, err := bw.Write(count[:]); err != nil {
+		return err
+	}
+	var frame [4]byte
+	for _, c := range certs {
+		enc := c.Marshal()
+		binary.BigEndian.PutUint32(frame[:], uint32(len(enc)))
+		if _, err := bw.Write(frame[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(enc); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCerts reads a certificate stream written by WriteCerts.
+func ReadCerts(r io.Reader) ([]*x509sim.Certificate, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCorpusFile, err)
+	}
+	if magic != corpusMagic {
+		return nil, ErrBadCorpusFile
+	}
+	var count [8]byte
+	if _, err := io.ReadFull(br, count[:]); err != nil {
+		return nil, fmt.Errorf("core: corpus count: %w", err)
+	}
+	n := binary.BigEndian.Uint64(count[:])
+	const maxCerts = 1 << 28
+	if n > maxCerts {
+		return nil, fmt.Errorf("%w: implausible count %d", ErrBadCorpusFile, n)
+	}
+	certs := make([]*x509sim.Certificate, 0, min(n, 1<<20))
+	var frame [4]byte
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, frame[:]); err != nil {
+			return nil, fmt.Errorf("core: cert %d frame: %w", i, err)
+		}
+		l := binary.BigEndian.Uint32(frame[:])
+		if l > 1<<16 {
+			return nil, fmt.Errorf("%w: cert %d oversized (%d bytes)", ErrBadCorpusFile, i, l)
+		}
+		buf := make([]byte, l)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("core: cert %d body: %w", i, err)
+		}
+		c, err := x509sim.Unmarshal(buf)
+		if err != nil {
+			return nil, fmt.Errorf("core: cert %d: %w", i, err)
+		}
+		certs = append(certs, c)
+	}
+	return certs, nil
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"stalecert/internal/simtime"
+	"stalecert/internal/x509sim"
+)
+
+func TestCertStreamRoundTrip(t *testing.T) {
+	var certs []*x509sim.Certificate
+	for i := 0; i < 100; i++ {
+		c, err := x509sim.New(x509sim.SerialNumber(i+1), 3, x509sim.KeyID(i),
+			[]string{"a.com", "*.a.com"}, simtime.Day(i), simtime.Day(i+90))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			c.Precert = true
+		}
+		certs = append(certs, c)
+	}
+	var buf bytes.Buffer
+	if err := WriteCerts(&buf, certs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCerts(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(certs, got) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestCertStreamEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCerts(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCerts(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty stream = %v %v", got, err)
+	}
+}
+
+func TestCertStreamErrors(t *testing.T) {
+	if _, err := ReadCerts(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadCerts(bytes.NewReader([]byte("notacorpusfile....."))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated body.
+	c, _ := x509sim.New(1, 1, 1, []string{"a.com"}, 0, 1)
+	var buf bytes.Buffer
+	if err := WriteCerts(&buf, []*x509sim.Certificate{c}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadCerts(bytes.NewReader(raw[:len(raw)-3])); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	// Corrupted count.
+	bad := append([]byte(nil), raw...)
+	bad[8] = 0xFF
+	if _, err := ReadCerts(bytes.NewReader(bad)); err == nil {
+		t.Error("implausible count accepted")
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"stalecert/internal/simtime"
+	"stalecert/internal/stats"
+)
+
+// This file implements §6: estimating how shortening maximum certificate
+// lifetimes would shrink the third-party stale-certificate population.
+
+// StandardCaps are the lifetimes the paper simulates: 45 days, 90 days
+// (Let's Encrypt / GTS / cPanel self-imposed), 215 days (six months plus
+// operational padding), and the current 398-day browser limit.
+var StandardCaps = []int{45, 90, 215, 398}
+
+// CapResult is the outcome of re-simulating a stale population under one
+// maximum-lifetime cap (Figure 9): certificates longer than the cap have
+// their expiration pulled in to notBefore+cap; shorter certificates are
+// untouched. Staleness days after the event are recomputed; a certificate
+// whose capped expiry precedes its invalidation event stops being stale.
+type CapResult struct {
+	CapDays int
+	// Original and capped totals.
+	StaleCerts      int
+	RemainingStale  int
+	StalenessDays   int
+	CappedStaleDays int
+}
+
+// StaleCertReductionPct is the share of stale certificates eliminated.
+func (r CapResult) StaleCertReductionPct() float64 {
+	if r.StaleCerts == 0 {
+		return 0
+	}
+	return 100 * float64(r.StaleCerts-r.RemainingStale) / float64(r.StaleCerts)
+}
+
+// StalenessDayReductionPct is the share of staleness-days eliminated.
+func (r CapResult) StalenessDayReductionPct() float64 {
+	if r.StalenessDays == 0 {
+		return 0
+	}
+	return 100 * float64(r.StalenessDays-r.CappedStaleDays) / float64(r.StalenessDays)
+}
+
+// SimulateCap applies one lifetime cap to a stale population.
+func SimulateCap(stale []StaleCert, capDays int) CapResult {
+	r := CapResult{CapDays: capDays, StaleCerts: len(stale)}
+	for _, s := range stale {
+		orig := s.StalenessDays()
+		r.StalenessDays += orig
+		notAfter := s.Cert.NotAfter
+		if s.Cert.LifetimeDays() > capDays {
+			notAfter = s.Cert.NotBefore + simtime.Day(capDays) - 1
+		}
+		capped := int(notAfter - s.EventDay + 1)
+		if capped <= 0 {
+			continue // event falls after the capped expiry: no longer stale
+		}
+		r.RemainingStale++
+		r.CappedStaleDays += capped
+	}
+	return r
+}
+
+// SimulateCaps applies every cap.
+func SimulateCaps(stale []StaleCert, caps []int) []CapResult {
+	out := make([]CapResult, len(caps))
+	for i, c := range caps {
+		out[i] = SimulateCap(stale, c)
+	}
+	return out
+}
+
+// StalenessCDF builds the distribution of staleness periods (Figure 6 / 7).
+func StalenessCDF(stale []StaleCert) *stats.CDF {
+	c := &stats.CDF{}
+	for _, s := range stale {
+		c.AddInt(s.StalenessDays())
+	}
+	return c
+}
+
+// SurvivalCDF builds the distribution of days-from-issuance-to-event
+// (Figure 8's underlying variable): its survival function at x is the
+// proportion of eventually-stale certificates that had not yet become stale
+// x days after issuance — the naive upper bound on stale certificates
+// eliminated by an x-day lifetime.
+func SurvivalCDF(stale []StaleCert) *stats.CDF {
+	c := &stats.CDF{}
+	for _, s := range stale {
+		d := s.DaysFromIssuance()
+		if d < 0 {
+			d = 0
+		}
+		c.AddInt(d)
+	}
+	return c
+}
+
+// YearlyStalenessCDFs splits staleness distributions by event year
+// (Figure 7).
+func YearlyStalenessCDFs(stale []StaleCert) map[int]*stats.CDF {
+	out := make(map[int]*stats.CDF)
+	for _, s := range stale {
+		y := s.EventDay.Year()
+		c := out[y]
+		if c == nil {
+			c = &stats.CDF{}
+			out[y] = c
+		}
+		c.AddInt(s.StalenessDays())
+	}
+	return out
+}

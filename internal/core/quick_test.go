@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stalecert/internal/crl"
+	"stalecert/internal/simtime"
+	"stalecert/internal/whois"
+	"stalecert/internal/x509sim"
+)
+
+// Property tests on detector invariants over randomly generated populations.
+
+func randomCorpus(rng *rand.Rand, n int) ([]*x509sim.Certificate, *Corpus) {
+	certs := make([]*x509sim.Certificate, 0, n)
+	for i := 0; i < n; i++ {
+		nb := simtime.Day(rng.Intn(2000))
+		lifetime := 30 + rng.Intn(800)
+		domain := string(rune('a'+rng.Intn(6))) + "dom.com"
+		c, err := x509sim.New(
+			x509sim.SerialNumber(i+1), x509sim.IssuerID(rng.Intn(3)+1), x509sim.KeyID(i+1),
+			[]string{domain, "www." + domain}, nb, nb+simtime.Day(lifetime-1))
+		if err != nil {
+			panic(err)
+		}
+		certs = append(certs, c)
+	}
+	return certs, NewCorpus(certs, CorpusOptions{})
+}
+
+func TestQuickRegistrantChangeInvariants(t *testing.T) {
+	f := func(seed int64, nEvents uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		_, corpus := randomCorpus(rng, 150)
+		var events []whois.ReRegistration
+		for i := 0; i < int(nEvents)%20+1; i++ {
+			events = append(events, whois.ReRegistration{
+				Domain:      string(rune('a'+rng.Intn(6))) + "dom.com",
+				NewCreation: simtime.Day(rng.Intn(2500)),
+			})
+		}
+		stale := DetectRegistrantChange(corpus, events)
+		for _, s := range stale {
+			// The defining condition, strictly.
+			if !(s.Cert.NotBefore < s.EventDay && s.EventDay < s.Cert.NotAfter) {
+				return false
+			}
+			// Staleness is always positive and bounded by the lifetime.
+			if s.StalenessDays() < 1 || s.StalenessDays() > s.Cert.LifetimeDays() {
+				return false
+			}
+			// The cert actually names the domain.
+			covers := false
+			for _, n := range s.Cert.Names {
+				if n == s.Domain || n == "www."+s.Domain {
+					covers = true
+				}
+			}
+			if !covers {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRevocationInvariants(t *testing.T) {
+	f := func(seed int64, nRev uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		certs, corpus := randomCorpus(rng, 150)
+		var entries []crl.Entry
+		for i := 0; i < int(nRev)%40+1; i++ {
+			c := certs[rng.Intn(len(certs))]
+			entries = append(entries, crl.Entry{
+				Issuer:    c.Issuer,
+				Serial:    c.Serial,
+				RevokedAt: simtime.Day(rng.Intn(3000)),
+				Reason:    crl.Reason(rng.Intn(11)),
+			})
+		}
+		stale, stats := DetectRevoked(corpus, entries, simtime.NoDay)
+		if stats.Kept != len(stale) {
+			return false
+		}
+		for _, s := range stale {
+			// Revocation fell inside validity (the §4.1 filters).
+			if s.EventDay < s.Cert.NotBefore || s.EventDay > s.Cert.NotAfter {
+				return false
+			}
+			if s.StalenessDays() < 1 {
+				return false
+			}
+		}
+		// Key-compromise split preserves count of matching reasons.
+		kc := SplitKeyCompromise(stale)
+		want := 0
+		for _, s := range stale {
+			if s.Reason == crl.KeyCompromise {
+				want++
+			}
+		}
+		return len(kc) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCapNeverIncreasesStaleness(t *testing.T) {
+	f := func(seed int64, capSeed uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		certs, _ := randomCorpus(rng, 60)
+		var stale []StaleCert
+		for _, c := range certs {
+			event := c.NotBefore + simtime.Day(rng.Intn(c.LifetimeDays()))
+			stale = append(stale, StaleCert{Cert: c, Method: MethodRegistrantChange, EventDay: event, Domain: "x.com"})
+		}
+		capDays := int(capSeed)%400 + 10
+		r := SimulateCap(stale, capDays)
+		if r.CappedStaleDays > r.StalenessDays {
+			return false
+		}
+		if r.RemainingStale > r.StaleCerts {
+			return false
+		}
+		// A cap at least as long as every lifetime changes nothing.
+		huge := SimulateCap(stale, 10000)
+		return huge.CappedStaleDays == huge.StalenessDays && huge.RemainingStale == huge.StaleCerts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSurvivalCDFBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		certs, _ := randomCorpus(rng, 40)
+		var stale []StaleCert
+		for _, c := range certs {
+			event := c.NotBefore + simtime.Day(rng.Intn(c.LifetimeDays()))
+			stale = append(stale, StaleCert{Cert: c, EventDay: event})
+		}
+		surv := SurvivalCDF(stale)
+		last := 1.1
+		for x := 0.0; x <= 900; x += 30 {
+			v := surv.SurvivalAt(x)
+			if v < 0 || v > 1 || v > last {
+				return false // survival must be a non-increasing [0,1] function
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

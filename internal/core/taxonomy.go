@@ -1,0 +1,105 @@
+// Package core implements the paper's primary contribution: the certificate
+// invalidation-event taxonomy (Tables 1–2), the three third-party
+// stale-certificate detectors (key-compromise revocation, domain registrant
+// change, managed-TLS departure — §4–5), the deduplicated CT corpus they
+// join against, and the certificate-lifetime reduction analysis (§6).
+package core
+
+// InfoCategory is a certificate-information category (Table 1).
+type InfoCategory uint8
+
+// Table 1 categories.
+const (
+	SubscriberAuthentication InfoCategory = iota
+	KeyAuthorization
+	IssuerInformation
+	CertificateMetadata
+)
+
+// String names the category.
+func (c InfoCategory) String() string {
+	switch c {
+	case SubscriberAuthentication:
+		return "Subscriber authentication"
+	case KeyAuthorization:
+		return "Key authorization"
+	case IssuerInformation:
+		return "Issuer information"
+	case CertificateMetadata:
+		return "Certificate metadata"
+	}
+	return "category?"
+}
+
+// InfoCategoryRow is one row of Table 1.
+type InfoCategoryRow struct {
+	Category    InfoCategory
+	Description string
+	Fields      []string
+}
+
+// Table1 is the certificate-information taxonomy.
+var Table1 = []InfoCategoryRow{
+	{SubscriberAuthentication, "Subscriber identifiers: domain + crypto. keys",
+		[]string{"Subject Name", "SAN", "Subj. Public Key", "Subj. Key ID"}},
+	{KeyAuthorization, "Permissions + constraints on key utilization",
+		[]string{"Basic Constraints", "Key Usage", "Extended Key Usage"}},
+	{IssuerInformation, "Details of CA that issued certificate",
+		[]string{"Issuer Name", "Auth. Key ID", "Signature", "CRL Distribution Points", "Auth. Info. Access", "Certificate Policy"}},
+	{CertificateMetadata, "Meta-information about the certificate itself",
+		[]string{"Serial #", "Precert. Poison", "Signed Cert. Timestamps"}},
+}
+
+// Party identifies who controls a stale certificate's key after an
+// invalidation event.
+type Party uint8
+
+// Controlling parties.
+const (
+	FirstParty Party = iota
+	ThirdParty
+)
+
+// String names the party.
+func (p Party) String() string {
+	if p == FirstParty {
+		return "First-party"
+	}
+	return "Third-party"
+}
+
+// InvalidationEvent is one row of Table 2: a class of real-world change that
+// nullifies certificate information.
+type InvalidationEvent struct {
+	Name     string
+	Category InfoCategory
+	Example  string
+	Party    Party
+	// Impersonation marks events enabling TLS domain impersonation by the
+	// controlling party.
+	Impersonation bool
+}
+
+// Table2 is the certificate invalidation-event taxonomy. The three
+// third-party impersonation rows are exactly the classes the detectors in
+// this package measure.
+var Table2 = []InvalidationEvent{
+	{"Domain ownership change", SubscriberAuthentication, "Domain registrant change (§5.2)", ThirdParty, true},
+	{"Domain use change", SubscriberAuthentication, "Domain expiration + no new owner", FirstParty, false},
+	{"Key ownership change", SubscriberAuthentication, "Key compromise (§5.1)", ThirdParty, true},
+	{"Key use change", SubscriberAuthentication, "Key disuse: e.g., rotation", FirstParty, false},
+	{"Managed TLS departure", SubscriberAuthentication, "CDN/web-host migration (§5.3)", ThirdParty, true},
+	{"Key authorization change", KeyAuthorization, "Key scope reduction", FirstParty, false},
+	{"Revocation info. change", IssuerInformation, "CA infrastructure change", FirstParty, false},
+}
+
+// ThirdPartyEvents returns the impersonation-enabling event classes.
+func ThirdPartyEvents() []InvalidationEvent {
+	var out []InvalidationEvent
+	for _, e := range Table2 {
+		if e.Party == ThirdParty && e.Impersonation {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+package crl
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"stalecert/internal/simtime"
+)
+
+// Server serves the CRLs of many authorities over HTTP, the way CA
+// distribution points do. Some production CRL endpoints sit behind
+// scrape protections; FailRate simulates those per-endpoint rejections so the
+// fetcher's coverage accounting (Appendix B) is exercised.
+type Server struct {
+	mu          sync.RWMutex
+	authorities map[string]*Authority
+	failRate    map[string]float64 // CA name -> probability of 403
+	rng         *rand.Rand
+	rngMu       sync.Mutex
+	now         atomic.Int64
+}
+
+// NewServer creates a CRL distribution server. seed drives the simulated
+// scrape-protection failures.
+func NewServer(seed int64) *Server {
+	return &Server{
+		authorities: make(map[string]*Authority),
+		failRate:    make(map[string]float64),
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+}
+
+// SetNow advances the server's simulated clock (CRL thisUpdate stamps).
+func (s *Server) SetNow(d simtime.Day) { s.now.Store(int64(d)) }
+
+// Host registers an authority, optionally with a scrape-protection failure
+// probability in [0, 1).
+func (s *Server) Host(a *Authority, failRate float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.authorities[a.Name()] = a
+	s.failRate[a.Name()] = failRate
+}
+
+// Names returns the hosted CA names, sorted.
+func (s *Server) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.authorities))
+	for n := range s.authorities {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Handler serves GET /crl/{ca} with the CA's current CRL in binary form.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /crl/{ca}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("ca")
+		s.mu.RLock()
+		a, ok := s.authorities[name]
+		fail := s.failRate[name]
+		s.mu.RUnlock()
+		if !ok {
+			http.Error(w, "unknown CA", http.StatusNotFound)
+			return
+		}
+		if fail > 0 {
+			s.rngMu.Lock()
+			blocked := s.rng.Float64() < fail
+			s.rngMu.Unlock()
+			if blocked {
+				// Simulated anti-scraping response.
+				http.Error(w, "automated access denied", http.StatusForbidden)
+				return
+			}
+		}
+		list := a.Snapshot(simtime.Day(s.now.Load()))
+		w.Header().Set("Content-Type", "application/pkix-crl")
+		_, _ = w.Write(list.Marshal())
+	})
+	return mux
+}
+
+// CoverageLedger accumulates per-CA fetch outcomes across daily collection
+// runs, reproducing the Appendix B coverage table.
+type CoverageLedger struct {
+	mu sync.Mutex
+	by map[string]*Coverage
+}
+
+// Coverage is one CA's fetch record.
+type Coverage struct {
+	CAName    string
+	Attempted int
+	Succeeded int
+}
+
+// Percent returns the success percentage (100% when nothing was attempted).
+func (c Coverage) Percent() float64 {
+	if c.Attempted == 0 {
+		return 100
+	}
+	return 100 * float64(c.Succeeded) / float64(c.Attempted)
+}
+
+// NewCoverageLedger creates an empty ledger.
+func NewCoverageLedger() *CoverageLedger {
+	return &CoverageLedger{by: make(map[string]*Coverage)}
+}
+
+// Record adds one fetch outcome.
+func (l *CoverageLedger) Record(ca string, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	c := l.by[ca]
+	if c == nil {
+		c = &Coverage{CAName: ca}
+		l.by[ca] = c
+	}
+	c.Attempted++
+	if ok {
+		c.Succeeded++
+	}
+}
+
+// Rows returns per-CA coverage sorted by ascending success percentage then
+// name, the ordering of the paper's Table 7.
+func (l *CoverageLedger) Rows() []Coverage {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rows := make([]Coverage, 0, len(l.by))
+	for _, c := range l.by {
+		rows = append(rows, *c)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		pi, pj := rows[i].Percent(), rows[j].Percent()
+		if pi != pj {
+			return pi < pj
+		}
+		return rows[i].CAName < rows[j].CAName
+	})
+	return rows
+}
+
+// Total sums the ledger.
+func (l *CoverageLedger) Total() Coverage {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t := Coverage{CAName: "Total"}
+	for _, c := range l.by {
+		t.Attempted += c.Attempted
+		t.Succeeded += c.Succeeded
+	}
+	return t
+}
+
+// Fetcher downloads CRLs from a Server over HTTP, retrying failures, and
+// records outcomes in a ledger.
+type Fetcher struct {
+	Base    string // server base URL
+	HC      *http.Client
+	Ledger  *CoverageLedger
+	Retries int // extra attempts per CRL per day (default 2)
+}
+
+// FetchAll performs one daily collection over the named CAs, returning the
+// successfully fetched lists keyed by CA name.
+func (f *Fetcher) FetchAll(ctx context.Context, names []string) (map[string]*List, error) {
+	hc := f.HC
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	retries := f.Retries
+	if retries == 0 {
+		retries = 2
+	}
+	out := make(map[string]*List, len(names))
+	for _, name := range names {
+		var list *List
+		var lastErr error
+		for attempt := 0; attempt <= retries; attempt++ {
+			l, err := f.fetchOne(ctx, hc, name)
+			if err == nil {
+				list = l
+				break
+			}
+			lastErr = err
+			if ctx.Err() != nil {
+				return out, ctx.Err()
+			}
+		}
+		if f.Ledger != nil {
+			f.Ledger.Record(name, list != nil)
+		}
+		if list != nil {
+			out[name] = list
+		} else {
+			_ = lastErr // coverage ledger carries the failure; partial results are the contract
+		}
+	}
+	return out, nil
+}
+
+func (f *Fetcher) fetchOne(ctx context.Context, hc *http.Client, name string) (*List, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.Base+"/crl/"+name, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("crl: fetch %s: status %d", name, resp.StatusCode)
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(raw)
+}

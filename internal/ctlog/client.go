@@ -1,0 +1,232 @@
+package ctlog
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"stalecert/internal/merkle"
+	"stalecert/internal/simtime"
+	"stalecert/internal/x509sim"
+)
+
+// Client talks to a CT log server over HTTP. The zero value is not usable;
+// construct with NewClient.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient creates a client for the log at baseURL (e.g. the httptest server
+// URL). If hc is nil, http.DefaultClient is used.
+func NewClient(baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: baseURL, hc: hc}
+}
+
+// RemoteError is a non-2xx response from the log.
+type RemoteError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("ctlog: remote error %d: %s", e.StatusCode, e.Message)
+}
+
+func (c *Client) get(ctx context.Context, path string, q url.Values, out any) error {
+	u := c.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e errorResponse
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(msg, &e) == nil && e.Error != "" {
+			return &RemoteError{StatusCode: resp.StatusCode, Message: e.Error}
+		}
+		return &RemoteError{StatusCode: resp.StatusCode, Message: string(msg)}
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// AddChain submits a certificate and returns the log's SCT.
+func (c *Client) AddChain(ctx context.Context, cert *x509sim.Certificate) (SCT, error) {
+	req := addChainRequest{Chain: []string{base64.StdEncoding.EncodeToString(cert.Marshal())}}
+	var resp addChainResponse
+	if err := c.post(ctx, "/ct/v1/add-chain", req, &resp); err != nil {
+		return SCT{}, err
+	}
+	sct := SCT{LogName: resp.LogName, Index: resp.Index, Timestamp: simtime.Day(resp.Timestamp)}
+	sig, err := base64.StdEncoding.DecodeString(resp.Signature)
+	if err != nil || len(sig) != 32 {
+		return SCT{}, errors.New("ctlog: malformed SCT signature")
+	}
+	copy(sct.Signature[:], sig)
+	return sct, nil
+}
+
+// GetSTH fetches the current signed tree head.
+func (c *Client) GetSTH(ctx context.Context) (SignedTreeHead, error) {
+	var resp getSTHResponse
+	if err := c.get(ctx, "/ct/v1/get-sth", nil, &resp); err != nil {
+		return SignedTreeHead{}, err
+	}
+	sth := SignedTreeHead{LogName: resp.LogName, Size: resp.TreeSize, Timestamp: simtime.Day(resp.Timestamp)}
+	root, err := base64.StdEncoding.DecodeString(resp.RootHash)
+	if err != nil || len(root) != 32 {
+		return SignedTreeHead{}, errors.New("ctlog: malformed root hash")
+	}
+	copy(sth.Root[:], root)
+	sig, err := base64.StdEncoding.DecodeString(resp.Signature)
+	if err != nil || len(sig) != 32 {
+		return SignedTreeHead{}, errors.New("ctlog: malformed STH signature")
+	}
+	copy(sth.Signature[:], sig)
+	return sth, nil
+}
+
+// GetEntries fetches entries in [start, end] inclusive. The server may
+// return fewer than requested; callers should page until satisfied (or use
+// Scrape).
+func (c *Client) GetEntries(ctx context.Context, start, end uint64) ([]Entry, error) {
+	q := url.Values{}
+	q.Set("start", fmt.Sprint(start))
+	q.Set("end", fmt.Sprint(end))
+	var resp getEntriesResponse
+	if err := c.get(ctx, "/ct/v1/get-entries", q, &resp); err != nil {
+		return nil, err
+	}
+	entries := make([]Entry, 0, len(resp.Entries))
+	for i, ej := range resp.Entries {
+		raw, err := base64.StdEncoding.DecodeString(ej.LeafInput)
+		if err != nil {
+			return nil, fmt.Errorf("ctlog: entry %d: %w", i, err)
+		}
+		e, err := DecodeLeafInput(raw)
+		if err != nil {
+			return nil, fmt.Errorf("ctlog: entry %d: %w", i, err)
+		}
+		e.Index = start + uint64(i)
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// GetProofByHash fetches an inclusion proof for a leaf hash at a tree size.
+func (c *Client) GetProofByHash(ctx context.Context, leaf merkle.Hash, size uint64) (uint64, []merkle.Hash, error) {
+	q := url.Values{}
+	q.Set("hash", base64.StdEncoding.EncodeToString(leaf[:]))
+	q.Set("tree_size", fmt.Sprint(size))
+	var resp getProofByHashResponse
+	if err := c.get(ctx, "/ct/v1/get-proof-by-hash", q, &resp); err != nil {
+		return 0, nil, err
+	}
+	proof, err := decodeHashes(resp.AuditPath)
+	return resp.LeafIndex, proof, err
+}
+
+// GetConsistency fetches a consistency proof between two tree sizes.
+func (c *Client) GetConsistency(ctx context.Context, first, second uint64) ([]merkle.Hash, error) {
+	q := url.Values{}
+	q.Set("first", fmt.Sprint(first))
+	q.Set("second", fmt.Sprint(second))
+	var resp getConsistencyResponse
+	if err := c.get(ctx, "/ct/v1/get-sth-consistency", q, &resp); err != nil {
+		return nil, err
+	}
+	return decodeHashes(resp.Consistency)
+}
+
+// ScrapeOptions tunes Scrape.
+type ScrapeOptions struct {
+	// BatchSize is the get-entries page size (default MaxEntriesPerGet).
+	BatchSize uint64
+	// From resumes scraping at this index (for incremental monitors).
+	From uint64
+	// VerifyInclusion audits every fetched entry against the STH. Slow but
+	// used by tests to prove the wire pipeline end to end.
+	VerifyInclusion bool
+}
+
+// Scrape downloads the log from opts.From up to the current STH, verifying
+// the STH's self-consistency (and optionally every entry's inclusion).
+// It returns the entries and the STH they were verified against.
+func (c *Client) Scrape(ctx context.Context, opts ScrapeOptions) ([]Entry, SignedTreeHead, error) {
+	sth, err := c.GetSTH(ctx)
+	if err != nil {
+		return nil, SignedTreeHead{}, err
+	}
+	batch := opts.BatchSize
+	if batch == 0 {
+		batch = MaxEntriesPerGet
+	}
+	var entries []Entry
+	for start := opts.From; start < sth.Size; {
+		end := start + batch - 1
+		if end >= sth.Size {
+			end = sth.Size - 1
+		}
+		got, err := c.GetEntries(ctx, start, end)
+		if err != nil {
+			return nil, SignedTreeHead{}, fmt.Errorf("ctlog: scrape [%d,%d]: %w", start, end, err)
+		}
+		if len(got) == 0 {
+			return nil, SignedTreeHead{}, fmt.Errorf("ctlog: scrape stalled at %d", start)
+		}
+		for i, e := range got {
+			if e.Index != start+uint64(i) {
+				return nil, SignedTreeHead{}, fmt.Errorf("ctlog: non-contiguous entries: got %d at position %d", e.Index, start+uint64(i))
+			}
+		}
+		if opts.VerifyInclusion {
+			for _, e := range got {
+				leaf := merkle.LeafHash(e.LeafData())
+				idx, proof, err := c.GetProofByHash(ctx, leaf, sth.Size)
+				if err != nil {
+					return nil, SignedTreeHead{}, fmt.Errorf("ctlog: proof for %d: %w", e.Index, err)
+				}
+				if idx != e.Index || !merkle.VerifyInclusion(leaf, idx, sth.Size, proof, sth.Root) {
+					return nil, SignedTreeHead{}, fmt.Errorf("ctlog: inclusion verification failed for %d", e.Index)
+				}
+			}
+		}
+		entries = append(entries, got...)
+		start += uint64(len(got))
+	}
+	return entries, sth, nil
+}

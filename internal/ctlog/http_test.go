@@ -1,0 +1,214 @@
+package ctlog
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"stalecert/internal/merkle"
+	"stalecert/internal/simtime"
+	"stalecert/internal/x509sim"
+)
+
+func newTestServer(t *testing.T) (*Log, *Server, *Client) {
+	t.Helper()
+	l := New("wiretest", Shard{})
+	srv := NewServer(l)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return l, srv, NewClient(ts.URL, ts.Client())
+}
+
+func TestHTTPAddChainAndGetSTH(t *testing.T) {
+	_, srv, client := newTestServer(t)
+	srv.SetNow(42)
+	ctx := context.Background()
+
+	cert := testCert(t, 1, "wire.com", 0, 90)
+	sct, err := client.AddChain(ctx, cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sct.Index != 0 || sct.Timestamp != 42 || sct.LogName != "wiretest" {
+		t.Fatalf("sct = %+v", sct)
+	}
+	sth, err := client.GetSTH(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sth.Size != 1 || sth.Timestamp != 42 {
+		t.Fatalf("sth = %+v", sth)
+	}
+}
+
+func TestHTTPGetEntriesRoundTrip(t *testing.T) {
+	_, srv, client := newTestServer(t)
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		srv.SetNow(simtime.Day(i))
+		cert := testCert(t, uint64(i+1), "wire.com", 0, simtime.Day(90+i))
+		if _, err := client.AddChain(ctx, cert); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := client.GetEntries(ctx, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("got %d entries", len(entries))
+	}
+	for i, e := range entries {
+		if e.Index != uint64(i+1) {
+			t.Fatalf("entry %d has index %d", i, e.Index)
+		}
+		if e.Cert.Serial != x509sim.SerialNumber(i+2) {
+			t.Fatalf("entry %d serial %d", i, e.Cert.Serial)
+		}
+		if e.Timestamp != simtime.Day(i+1) {
+			t.Fatalf("entry %d timestamp %v", i, e.Timestamp)
+		}
+	}
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	_, _, client := newTestServer(t)
+	ctx := context.Background()
+	_, err := client.GetEntries(ctx, 5, 3)
+	var re *RemoteError
+	if !errors.As(err, &re) || re.StatusCode != 400 {
+		t.Fatalf("err = %v", err)
+	}
+	_, _, err = client.GetProofByHash(ctx, merkle.LeafHash([]byte("nope")), 1)
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHTTPBatchLimitPaging(t *testing.T) {
+	_, srv, client := newTestServer(t)
+	ctx := context.Background()
+	srv.SetNow(1)
+	const n = MaxEntriesPerGet + 37
+	for i := 0; i < n; i++ {
+		cert := testCert(t, uint64(i+1), "wire.com", 0, 90)
+		if _, err := client.AddChain(ctx, cert); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A single oversized request is truncated to the server batch limit.
+	got, err := client.GetEntries(ctx, 0, n-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != MaxEntriesPerGet {
+		t.Fatalf("oversized get returned %d", len(got))
+	}
+	// Scrape pages through everything.
+	entries, sth, err := client.Scrape(ctx, ScrapeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != n || sth.Size != n {
+		t.Fatalf("scraped %d of %d", len(entries), n)
+	}
+}
+
+func TestHTTPScrapeWithInclusionVerification(t *testing.T) {
+	_, srv, client := newTestServer(t)
+	ctx := context.Background()
+	srv.SetNow(7)
+	for i := 0; i < 33; i++ {
+		cert := testCert(t, uint64(i+1), "audit.com", 0, simtime.Day(100+i))
+		if _, err := client.AddChain(ctx, cert); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, sth, err := client.Scrape(ctx, ScrapeOptions{VerifyInclusion: true, BatchSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 33 || sth.Size != 33 {
+		t.Fatalf("scraped %d", len(entries))
+	}
+}
+
+func TestHTTPConsistencyAcrossGrowth(t *testing.T) {
+	l, srv, client := newTestServer(t)
+	ctx := context.Background()
+	srv.SetNow(1)
+	for i := 0; i < 10; i++ {
+		if _, err := client.AddChain(ctx, testCert(t, uint64(i+1), "c.com", 0, 90)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sth1, err := client.GetSTH(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 25; i++ {
+		if _, err := client.AddChain(ctx, testCert(t, uint64(i+1), "c.com", 0, 90)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sth2, err := client.GetSTH(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := client.GetConsistency(ctx, sth1.Size, sth2.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !merkle.VerifyConsistency(sth1.Size, sth2.Size, sth1.Root, sth2.Root, proof) {
+		t.Fatal("wire consistency proof failed")
+	}
+	if !l.VerifySTH(sth2) {
+		t.Fatal("scraped STH signature invalid")
+	}
+}
+
+func TestHTTPIncrementalScrape(t *testing.T) {
+	_, srv, client := newTestServer(t)
+	ctx := context.Background()
+	srv.SetNow(1)
+	for i := 0; i < 8; i++ {
+		if _, err := client.AddChain(ctx, testCert(t, uint64(i+1), "inc.com", 0, 90)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first, _, err := client.Scrape(ctx, ScrapeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 8; i < 15; i++ {
+		if _, err := client.AddChain(ctx, testCert(t, uint64(i+1), "inc.com", 0, 90)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rest, _, err := client.Scrape(ctx, ScrapeOptions{From: uint64(len(first))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 7 || rest[0].Index != 8 {
+		t.Fatalf("incremental scrape got %d starting at %d", len(rest), rest[0].Index)
+	}
+}
+
+func TestHTTPRejectsMalformedSubmissions(t *testing.T) {
+	_, _, client := newTestServer(t)
+	ctx := context.Background()
+	// Hand-roll a bad request through the typed client by bypassing: a cert
+	// that fails shard checks on a sharded server.
+	l2 := New("sharded", Shard{Start: 1000, End: 2000})
+	srv2 := NewServer(l2)
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	c2 := NewClient(ts2.URL, ts2.Client())
+	_, err := c2.AddChain(ctx, testCert(t, 1, "x.com", 0, 90))
+	var re *RemoteError
+	if !errors.As(err, &re) || re.StatusCode != 400 {
+		t.Fatalf("shard rejection over wire: %v", err)
+	}
+	_ = client
+}

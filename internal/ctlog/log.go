@@ -1,0 +1,243 @@
+// Package ctlog implements the Certificate Transparency substrate: an
+// RFC 6962-style append-only log over a Merkle tree, with temporal sharding,
+// signed tree heads, an HTTP server exposing the standard read/write
+// endpoints, a scraping client, and a multi-log collection with
+// precert/final-cert deduplication — the pipeline the paper's 5B-certificate
+// corpus was collected through.
+package ctlog
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"stalecert/internal/merkle"
+	"stalecert/internal/simtime"
+	"stalecert/internal/x509sim"
+)
+
+// Shard restricts a log to certificates whose notAfter falls inside
+// [Start, End). A zero Shard accepts everything (an unsharded log).
+type Shard struct {
+	Start simtime.Day
+	End   simtime.Day
+}
+
+// Accepts reports whether a certificate expiring on notAfter belongs in this
+// shard.
+func (s Shard) Accepts(notAfter simtime.Day) bool {
+	if s == (Shard{}) {
+		return true
+	}
+	return notAfter >= s.Start && notAfter < s.End
+}
+
+// String names the shard like production logs ("2022" shards).
+func (s Shard) String() string {
+	if s == (Shard{}) {
+		return "unsharded"
+	}
+	return fmt.Sprintf("%s..%s", s.Start, s.End)
+}
+
+// Entry is one log entry: a certificate plus its log coordinates.
+type Entry struct {
+	Index     uint64
+	Timestamp simtime.Day // when the entry was incorporated
+	Cert      *x509sim.Certificate
+}
+
+// LeafData returns the byte string that is Merkle-leaf-hashed for this
+// entry. As in RFC 6962, the leaf covers the timestamp and certificate but
+// not the index, so resubmitting the same certificate on the same day
+// deduplicates to the original entry.
+func (e Entry) LeafData() []byte {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(int32(e.Timestamp)))
+	return append(hdr[:], e.Cert.Marshal()...)
+}
+
+// SignedTreeHead is the log's public commitment to its current state.
+type SignedTreeHead struct {
+	LogName   string
+	Size      uint64
+	Root      merkle.Hash
+	Timestamp simtime.Day
+	Signature [32]byte
+}
+
+// SCT is a signed certificate timestamp returned from add-chain.
+type SCT struct {
+	LogName   string
+	Index     uint64
+	Timestamp simtime.Day
+	Signature [32]byte
+}
+
+// Errors returned by Log operations.
+var (
+	ErrWrongShard   = errors.New("ctlog: certificate expiry outside log shard")
+	ErrRejected     = errors.New("ctlog: log rejected submission")
+	ErrRangeInvalid = errors.New("ctlog: invalid entry range")
+	ErrNotFound     = errors.New("ctlog: leaf hash not found")
+	ErrFrozen       = errors.New("ctlog: log is frozen (read-only)")
+)
+
+// Log is an append-only certificate log. It is safe for concurrent use.
+type Log struct {
+	name string
+
+	mu      sync.RWMutex
+	shard   Shard
+	tree    merkle.Tree
+	entries []Entry
+	byLeaf  map[merkle.Hash]uint64 // leaf hash -> index (submission dedup)
+	key     []byte                 // MAC key standing in for the log's signing key
+	frozen  bool
+	clock   simtime.Day // latest timestamp seen; STHs are stamped with it
+}
+
+// New creates a log. The name doubles as key material so two logs with
+// different names never produce colliding "signatures".
+func New(name string, shard Shard) *Log {
+	return &Log{
+		name:   name,
+		shard:  shard,
+		byLeaf: make(map[merkle.Hash]uint64),
+		key:    []byte("ctlog-key:" + name),
+	}
+}
+
+// Name returns the log's name.
+func (l *Log) Name() string { return l.name }
+
+// Shard returns the log's temporal shard.
+func (l *Log) Shard() Shard {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.shard
+}
+
+// Freeze makes the log read-only, as retired production logs become.
+func (l *Log) Freeze() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.frozen = true
+}
+
+// Size returns the current number of entries.
+func (l *Log) Size() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.tree.Size()
+}
+
+// AddChain submits a certificate at the given day, returning its SCT.
+// Resubmitting an identical entry body returns the original SCT (logs
+// deduplicate submissions). Certificates outside the shard are rejected.
+func (l *Log) AddChain(cert *x509sim.Certificate, now simtime.Day) (SCT, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.frozen {
+		return SCT{}, ErrFrozen
+	}
+	if !l.shard.Accepts(cert.NotAfter) {
+		return SCT{}, fmt.Errorf("%w: notAfter %s not in %s", ErrWrongShard, cert.NotAfter, l.shard)
+	}
+	if now > l.clock {
+		l.clock = now
+	}
+	e := Entry{Index: l.tree.Size(), Timestamp: now, Cert: cert.Clone()}
+	lh := merkle.LeafHash(e.LeafData())
+	if idx, ok := l.byLeaf[lh]; ok {
+		prev := l.entries[idx]
+		return l.signSCT(prev.Index, prev.Timestamp), nil
+	}
+	l.tree.AppendLeafHash(lh)
+	l.entries = append(l.entries, e)
+	l.byLeaf[lh] = e.Index
+	return l.signSCT(e.Index, e.Timestamp), nil
+}
+
+func (l *Log) signSCT(index uint64, ts simtime.Day) SCT {
+	s := SCT{LogName: l.name, Index: index, Timestamp: ts}
+	s.Signature = l.mac('s', index, uint64(int64(ts)), merkle.Hash{})
+	return s
+}
+
+// STH returns the current signed tree head.
+func (l *Log) STH() SignedTreeHead {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	root := l.tree.Root()
+	h := SignedTreeHead{LogName: l.name, Size: l.tree.Size(), Root: root, Timestamp: l.clock}
+	h.Signature = l.mac('h', h.Size, uint64(int64(h.Timestamp)), root)
+	return h
+}
+
+// VerifySTH checks that an STH was produced by this log.
+func (l *Log) VerifySTH(h SignedTreeHead) bool {
+	want := l.mac('h', h.Size, uint64(int64(h.Timestamp)), h.Root)
+	return h.LogName == l.name && hmac.Equal(want[:], h.Signature[:])
+}
+
+func (l *Log) mac(kind byte, a, b uint64, root merkle.Hash) [32]byte {
+	m := hmac.New(sha256.New, l.key)
+	var buf [17]byte
+	buf[0] = kind
+	binary.BigEndian.PutUint64(buf[1:], a)
+	binary.BigEndian.PutUint64(buf[9:], b)
+	m.Write(buf[:])
+	m.Write(root[:])
+	var out [32]byte
+	m.Sum(out[:0])
+	return out
+}
+
+// Entries returns entries in [start, end] inclusive, mirroring the RFC 6962
+// get-entries contract (the server may return fewer; this implementation
+// returns all requested).
+func (l *Log) Entries(start, end uint64) ([]Entry, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if start > end || end >= l.tree.Size() {
+		return nil, fmt.Errorf("%w: [%d, %d] of %d", ErrRangeInvalid, start, end, l.tree.Size())
+	}
+	out := make([]Entry, 0, end-start+1)
+	for i := start; i <= end; i++ {
+		e := l.entries[i]
+		e.Cert = e.Cert.Clone()
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// InclusionProof returns the audit path for a leaf hash at a tree size.
+func (l *Log) InclusionProof(leaf merkle.Hash, size uint64) (index uint64, proof []merkle.Hash, err error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	idx, ok := l.byLeaf[leaf]
+	if !ok || idx >= size {
+		return 0, nil, ErrNotFound
+	}
+	proof, err = l.tree.InclusionProof(idx, size)
+	return idx, proof, err
+}
+
+// ConsistencyProof returns the consistency proof between two tree sizes.
+func (l *Log) ConsistencyProof(first, second uint64) ([]merkle.Hash, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.tree.ConsistencyProof(first, second)
+}
+
+// RootAt returns the Merkle root at an earlier size (for verification in
+// tests and the monitor).
+func (l *Log) RootAt(size uint64) (merkle.Hash, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.tree.RootAt(size)
+}

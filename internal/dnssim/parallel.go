@@ -1,0 +1,98 @@
+package dnssim
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"stalecert/internal/simtime"
+)
+
+// ScanParallel runs the daily scan with a zdns-style worker pool: the
+// paper's collection resolves hundreds of millions of names per day, which
+// is only feasible with high concurrency. Results are merged into a single
+// snapshot; per-domain result sets are identical to the serial Scan.
+func (ws *WireScanner) ScanParallel(ctx context.Context, day simtime.Day, domains []string, workers int) (*Snapshot, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(domains) && len(domains) > 0 {
+		workers = len(domains)
+	}
+	type result struct {
+		domain  string
+		records []Record
+		scanned bool
+	}
+
+	jobs := make(chan string)
+	results := make(chan result, workers)
+	var wg sync.WaitGroup
+	prefixes := ws.Prefixes
+	if prefixes == nil {
+		prefixes = []string{"", "www"}
+	}
+
+	worker := func() {
+		defer wg.Done()
+		for domain := range jobs {
+			res := result{domain: domain}
+			for _, prefix := range prefixes {
+				name := domain
+				if prefix != "" {
+					name = prefix + "." + domain
+				}
+				for _, t := range ScanTypes {
+					recs, err := ws.Resolver.Query(ctx, name, t)
+					var nx *NXDomainError
+					if errors.As(err, &nx) {
+						res.scanned = true
+						continue
+					}
+					if err != nil {
+						continue
+					}
+					res.scanned = true
+					res.records = append(res.records, recs...)
+				}
+			}
+			select {
+			case results <- res:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go worker()
+	}
+	go func() {
+		defer close(jobs)
+		for _, d := range domains {
+			select {
+			case jobs <- d:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	snap := NewSnapshot(day)
+	for res := range results {
+		if !res.scanned {
+			continue
+		}
+		snap.Add(res.domain, res.records...)
+		snap.Add(res.domain) // mark scanned even when empty
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}

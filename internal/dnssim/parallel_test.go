@@ -1,0 +1,169 @@
+package dnssim
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func parallelFixture(t testing.TB, n int) (*Server, []string) {
+	t.Helper()
+	com := NewZone("com")
+	domains := make([]string, n)
+	for i := 0; i < n; i++ {
+		d := fmt.Sprintf("p%04d.com", i)
+		domains[i] = d
+		data := "ns1.self.net"
+		if i%3 == 0 {
+			data = "kiki.ns.cloudflare.com"
+		}
+		if err := com.Add(Record{Name: d, Type: TypeNS, TTL: 60, Data: data}); err != nil {
+			t.Fatal(err)
+		}
+		if err := com.Add(Record{Name: d, Type: TypeA, TTL: 60, Data: "192.0.2.1"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	store := NewStore()
+	store.AddZone(com)
+	srv := NewServer(store)
+	if _, err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	return srv, domains
+}
+
+func TestScanParallelMatchesSerial(t *testing.T) {
+	com := NewZone("com")
+	var domains []string
+	for i := 0; i < 60; i++ {
+		d := fmt.Sprintf("q%03d.com", i)
+		domains = append(domains, d)
+		data := "ns1.self.net"
+		if i%4 == 0 {
+			data = "kiki.ns.cloudflare.com"
+		}
+		if err := com.Add(Record{Name: d, Type: TypeNS, TTL: 60, Data: data}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	domains = append(domains, "missing.com") // NXDOMAIN still counts as scanned
+	store := NewStore()
+	store.AddZone(com)
+	srv := NewServer(store)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ws := &WireScanner{Resolver: &Resolver{ServerAddr: addr.String(), Timeout: 2 * time.Second}}
+	ctx := context.Background()
+
+	serial, err := ws.Scan(ctx, 7, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := ws.ScanParallel(ctx, 7, domains, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Len() != parallel.Len() {
+		t.Fatalf("serial scanned %d, parallel %d", serial.Len(), parallel.Len())
+	}
+	isCF := func(r Record) bool { return r.Type == TypeNS && r.Data == "kiki.ns.cloudflare.com" }
+	for _, d := range domains {
+		if serial.Scanned(d) != parallel.Scanned(d) {
+			t.Fatalf("%s: scanned disagreement", d)
+		}
+		if serial.Matches(d, isCF) != parallel.Matches(d, isCF) {
+			t.Fatalf("%s: match disagreement", d)
+		}
+		if len(serial.Records(d)) != len(parallel.Records(d)) {
+			t.Fatalf("%s: record count disagreement: %d vs %d",
+				d, len(serial.Records(d)), len(parallel.Records(d)))
+		}
+	}
+}
+
+func TestScanParallelRespectsContext(t *testing.T) {
+	srv, domains := parallelFixture(t, 50)
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled
+	ws := &WireScanner{Resolver: &Resolver{ServerAddr: "127.0.0.1:1", Timeout: 100 * time.Millisecond}}
+	if _, err := ws.ScanParallel(ctx, 1, domains, 4); err == nil {
+		t.Fatal("cancelled context not surfaced")
+	}
+}
+
+func TestScanParallelDegenerateWorkers(t *testing.T) {
+	com := NewZone("com")
+	if err := com.Add(Record{Name: "one.com", Type: TypeA, TTL: 60, Data: "192.0.2.1"}); err != nil {
+		t.Fatal(err)
+	}
+	store := NewStore()
+	store.AddZone(com)
+	srv := NewServer(store)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ws := &WireScanner{Resolver: &Resolver{ServerAddr: addr.String(), Timeout: time.Second}}
+	// workers <= 0 clamps to 1; workers > len(domains) clamps down.
+	snap, err := ws.ScanParallel(context.Background(), 1, []string{"one.com"}, 0)
+	if err != nil || !snap.Scanned("one.com") {
+		t.Fatalf("clamped scan = %v %v", snap, err)
+	}
+	snap, err = ws.ScanParallel(context.Background(), 2, []string{"one.com"}, 64)
+	if err != nil || !snap.Scanned("one.com") {
+		t.Fatalf("over-provisioned scan = %v %v", snap, err)
+	}
+	// Empty domain list.
+	snap, err = ws.ScanParallel(context.Background(), 3, nil, 4)
+	if err != nil || snap.Len() != 0 {
+		t.Fatalf("empty scan = %v %v", snap, err)
+	}
+}
+
+func BenchmarkScanSerialVsParallel(b *testing.B) {
+	com := NewZone("com")
+	var domains []string
+	for i := 0; i < 200; i++ {
+		d := fmt.Sprintf("b%04d.com", i)
+		domains = append(domains, d)
+		if err := com.Add(Record{Name: d, Type: TypeNS, TTL: 60, Data: "ns1.self.net"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	store := NewStore()
+	store.AddZone(com)
+	srv := NewServer(store)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ws := &WireScanner{
+		Resolver: &Resolver{ServerAddr: addr.String(), Timeout: 2 * time.Second},
+		Prefixes: []string{""},
+	}
+	ctx := context.Background()
+
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ws.Scan(ctx, 1, domains); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel-16", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ws.ScanParallel(ctx, 1, domains, 16); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,172 @@
+// Package experiments regenerates every table and figure from the paper's
+// evaluation over a simulated world: it runs the full pipeline (world →
+// datasets → corpus → detectors) and formats each artifact via
+// internal/report. cmd/experiments and the repository benchmarks are thin
+// wrappers around this package.
+package experiments
+
+import (
+	"math/rand"
+
+	"stalecert/internal/cdn"
+	"stalecert/internal/core"
+	"stalecert/internal/popularity"
+	"stalecert/internal/reputation"
+	"stalecert/internal/simtime"
+	"stalecert/internal/worldsim"
+	"stalecert/internal/x509sim"
+)
+
+// Results bundles a completed pipeline run.
+type Results struct {
+	World  *worldsim.World
+	Corpus *core.Corpus
+
+	RevokedAll   []core.StaleCert
+	KeyComp      []core.StaleCert
+	RegChange    []core.StaleCert
+	Managed      []core.StaleCert
+	RevStats     core.RevocationStats
+	CTDedupStats struct {
+		Raw, Unique, PrecertMerged int
+	}
+
+	// Detection windows (Table 4 date ranges).
+	RevWindow     simtime.Span
+	RegWindow     simtime.Span
+	ManagedWindow simtime.Span
+}
+
+// Run executes the world simulation and all three detection pipelines.
+func Run(s worldsim.Scenario) *Results {
+	w := worldsim.NewWorld(s)
+	w.Run()
+	return Detect(w)
+}
+
+// Detect runs the measurement pipelines over an already-simulated world.
+func Detect(w *worldsim.World) *Results {
+	r := &Results{World: w}
+
+	certs, dstats := w.Logs.Dedup()
+	r.CTDedupStats.Raw = dstats.RawEntries
+	r.CTDedupStats.Unique = dstats.Unique
+	r.CTDedupStats.PrecertMerged = dstats.PrecertMerged
+	r.Corpus = core.NewCorpus(certs, core.CorpusOptions{PSL: w.PSL})
+
+	// Pipeline 1: revocations joined against CT with the §4.1 filters.
+	cutoff := core.RevocationFilterCutoff
+	if !w.S.CRLWindow.Contains(cutoff) && cutoff >= w.S.CRLWindow.End {
+		// Scenario ends before the paper's cutoff: scale the cutoff to 13
+		// months before the collection window, as the paper did.
+		cutoff = w.S.CRLWindow.Start - 396
+	}
+	r.RevokedAll, r.RevStats = core.DetectRevoked(r.Corpus, w.RevocationEntries(), cutoff)
+	r.KeyComp = core.SplitKeyCompromise(r.RevokedAll)
+	r.RevWindow = simtime.Span{Start: cutoff, End: w.S.CRLWindow.End}
+
+	// Pipeline 2: registrant change from the WHOIS archive.
+	rereg := w.Whois.ReRegistrations()
+	r.RegChange = core.DetectRegistrantChange(r.Corpus, rereg)
+	r.RegWindow = regWindow(r.RegChange, w.S.WHOISWindow)
+
+	// Pipeline 3: managed TLS departure from daily aDNS diffs.
+	isManaged := func(c *x509sim.Certificate) bool {
+		return cdn.HasMarkerSAN(c, "cloudflaressl.com")
+	}
+	r.Managed = core.DetectManagedTLSDeparture(r.Corpus, w.ADNS.Departures(), isManaged)
+	r.ManagedWindow = w.S.ADNSWindow
+
+	return r
+}
+
+// regWindow spans from the earliest registrant-change event to the end of
+// WHOIS collection, mirroring Table 4's 2013-04-16..2021-07-09 range.
+func regWindow(stale []core.StaleCert, whoisWindow simtime.Span) simtime.Span {
+	if len(stale) == 0 {
+		return whoisWindow
+	}
+	return simtime.Span{Start: stale[0].EventDay, End: whoisWindow.End}
+}
+
+// ByMethod returns the detections for one method.
+func (r *Results) ByMethod(m core.Method) []core.StaleCert {
+	switch m {
+	case core.MethodRevocation:
+		return r.RevokedAll
+	case core.MethodKeyCompromise:
+		return r.KeyComp
+	case core.MethodRegistrantChange:
+		return r.RegChange
+	case core.MethodManagedTLS:
+		return r.Managed
+	}
+	return nil
+}
+
+// staleRegistrantDomains returns the distinct e2LDs with registrant-change
+// stale certificates, plus each domain's earliest stale window (event →
+// latest notAfter), used by the Table 5 reputation join.
+func (r *Results) staleRegistrantDomains() (domains []string, windows map[string]simtime.Span) {
+	windows = make(map[string]simtime.Span)
+	for _, s := range r.RegChange {
+		w, ok := windows[s.Domain]
+		end := s.Cert.NotAfter + 1
+		if !ok {
+			windows[s.Domain] = simtime.Span{Start: s.EventDay, End: end}
+			domains = append(domains, s.Domain)
+			continue
+		}
+		if s.EventDay < w.Start {
+			w.Start = s.EventDay
+		}
+		if end > w.End {
+			w.End = end
+		}
+		windows[s.Domain] = w
+	}
+	return domains, windows
+}
+
+// SampleDomains picks up to n random stale-registrant domains (the paper's
+// 100K VirusTotal sample).
+func (r *Results) SampleDomains(rng *rand.Rand, n int) ([]string, map[string]simtime.Span) {
+	domains, windows := r.staleRegistrantDomains()
+	if len(domains) > n {
+		rng.Shuffle(len(domains), func(i, j int) { domains[i], domains[j] = domains[j], domains[i] })
+		domains = domains[:n]
+	}
+	return domains, windows
+}
+
+// SyntheticFeed builds the threat-intel feed for Table 5 over the sampled
+// domains.
+func (r *Results) SyntheticFeed(seed int64, domains []string, windows map[string]simtime.Span, maliciousFraction float64) *reputation.Feed {
+	rng := rand.New(rand.NewSource(seed))
+	return reputation.Synthesize(rng, domains, maliciousFraction, func(d string) simtime.Span {
+		return windows[d]
+	})
+}
+
+// PopularitySamples builds the biannual rank lists for Table 6 over the
+// world's domain population.
+func (r *Results) PopularitySamples(seed int64) *popularity.Samples {
+	rng := rand.New(rand.NewSource(seed))
+	pool := r.World.AllDomains()
+	// The Alexa Top 1M covers only a small slice of all registered domains;
+	// scale the list so roughly 2.5%% of simulated e2LDs ever rank, matching
+	// Table 6's "%% of total" row.
+	listSize := len(pool) / 40
+	if listSize < 10 {
+		listSize = 10
+	}
+	from := simtime.MustParse("2014-01-01")
+	to := simtime.MustParse("2022-07-01")
+	if from < r.World.S.Start {
+		from = r.World.S.Start
+	}
+	if to > r.World.S.End {
+		to = r.World.S.End
+	}
+	return popularity.GenerateBiannual(rng, pool, from, to, listSize)
+}

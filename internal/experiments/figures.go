@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"stalecert/internal/core"
+	"stalecert/internal/report"
+	"stalecert/internal/simtime"
+	"stalecert/internal/stats"
+)
+
+// Figure4 is the monthly key-compromise revocation volume by CA (paper
+// Figure 4, log-scale in the paper; we emit raw counts).
+func (r *Results) Figure4() *report.Table {
+	series := stats.NewMonthlySeries()
+	dir := r.World.Dir
+	grouped := map[string]string{
+		"Entrust":          "Entrust",
+		"GoDaddy":          "GoDaddy",
+		"Let's Encrypt X3": "ISRG (Let's Encrypt)",
+		"Sectigo":          "Sectigo",
+	}
+	for _, s := range r.KeyComp {
+		name := dir.Name(s.Cert.Issuer)
+		key, ok := grouped[name]
+		if !ok {
+			key = "Other"
+		}
+		series.Add(key, s.EventDay)
+	}
+	t := &report.Table{
+		Title:   "Figure 4: Monthly key compromise volumes by CA",
+		Columns: append([]string{"Month"}, series.Keys()...),
+	}
+	for _, m := range series.Months() {
+		row := []any{m.String()}
+		for _, k := range series.Keys() {
+			row = append(row, series.Count(k, m))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Figure5a is the monthly count of new registrant-change stale certificates
+// and affected e2LDs (paper Figure 5a).
+func (r *Results) Figure5a() *report.Table {
+	certsByMonth := stats.NewMonthlySeries()
+	e2ldFirstMonth := make(map[string]simtime.Month)
+	for _, s := range r.RegChange {
+		certsByMonth.Add("Certificates", s.EventDay)
+		m := s.EventDay.Month()
+		if prev, ok := e2ldFirstMonth[s.Domain]; !ok || m < prev {
+			e2ldFirstMonth[s.Domain] = m
+		}
+	}
+	for _, m := range e2ldFirstMonth {
+		certsByMonth.AddN("e2LDs", m.First(), 1)
+	}
+	t := &report.Table{
+		Title:   "Figure 5a: New monthly stale certificates (registrant change)",
+		Columns: []string{"Month", "e2LDs", "Certificates"},
+	}
+	for _, m := range certsByMonth.Months() {
+		t.AddRow(m.String(), certsByMonth.Count("e2LDs", m), certsByMonth.Count("Certificates", m))
+	}
+	return t
+}
+
+// Figure5b breaks the registrant-change stale certificates down by issuer
+// around the 2018–2019 spike (paper Figure 5b).
+func (r *Results) Figure5b() *report.Table {
+	series := stats.NewMonthlySeries()
+	dir := r.World.Dir
+	tracked := map[string]bool{
+		"COMODO ECC DV Secure Server CA 2": true,
+		"Let's Encrypt X3":                 true,
+		"cPanel, Inc. CA":                  true,
+		"CloudFlare ECC CA-2":              true,
+	}
+	for _, s := range r.RegChange {
+		name := dir.Name(s.Cert.Issuer)
+		if !tracked[name] {
+			name = "Other"
+		}
+		series.Add(name, s.EventDay)
+	}
+	t := &report.Table{
+		Title:   "Figure 5b: Registrant-change stale certificates by issuer",
+		Columns: append([]string{"Month"}, series.Keys()...),
+	}
+	for _, m := range series.Months() {
+		row := []any{m.String()}
+		for _, k := range series.Keys() {
+			row = append(row, series.Count(k, m))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// FigureGrid is the staleness-day grid used by the CDF figures.
+var FigureGrid = stats.Range(0, 400, 40)
+
+// Figure6 is the staleness CDF per third-party method (paper Figure 6).
+func (r *Results) Figure6() *report.Series {
+	s := report.NewSeries("Figure 6: Third-party staleness CDF", "Staleness (days)", "Proportion")
+	s.Add("Domain change", core.StalenessCDF(r.RegChange).Curve(FigureGrid))
+	s.Add("Managed TLS dept.", core.StalenessCDF(r.Managed).Curve(FigureGrid))
+	s.Add("Key compromise", core.StalenessCDF(r.KeyComp).Curve(FigureGrid))
+	return s
+}
+
+// Figure6Medians returns the per-method median staleness (the figure's
+// headline comparison).
+func (r *Results) Figure6Medians() map[core.Method]float64 {
+	return map[core.Method]float64{
+		core.MethodRegistrantChange: core.StalenessCDF(r.RegChange).Median(),
+		core.MethodManagedTLS:       core.StalenessCDF(r.Managed).Median(),
+		core.MethodKeyCompromise:    core.StalenessCDF(r.KeyComp).Median(),
+	}
+}
+
+// Figure7 is the per-event-year staleness CDF for registrant change (paper
+// Figure 7, 2016–2021).
+func (r *Results) Figure7() *report.Series {
+	s := report.NewSeries("Figure 7: Domain owner staleness by year", "Staleness (days)", "Proportion")
+	byYear := core.YearlyStalenessCDFs(r.RegChange)
+	years := make([]int, 0, len(byYear))
+	for y := range byYear {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+	grid := stats.Range(0, 1000, 50)
+	for _, y := range years {
+		if y < 2016 || y > 2021 {
+			continue
+		}
+		s.Add(fmt.Sprint(y), byYear[y].Curve(grid))
+	}
+	return s
+}
+
+// Figure8 is the survival analysis: the proportion of eventually-stale
+// certificates not yet stale x days after issuance (paper Figure 8).
+func (r *Results) Figure8() *report.Series {
+	s := report.NewSeries("Figure 8: Certificate survival rate", "Max validity (days)", "Survival rate")
+	s.Add("Domain registrant change", core.SurvivalCDF(r.RegChange).SurvivalCurve(FigureGrid))
+	s.Add("Managed TLS departure", core.SurvivalCDF(r.Managed).SurvivalCurve(FigureGrid))
+	s.Add("Key compromise", core.SurvivalCDF(r.KeyComp).SurvivalCurve(FigureGrid))
+	return s
+}
+
+// Figure8At returns the per-method survival rate at a given day (the
+// paper's "56% / 49.5% / 1% occur after 90 days").
+func (r *Results) Figure8At(day int) map[core.Method]float64 {
+	x := float64(day)
+	return map[core.Method]float64{
+		core.MethodRegistrantChange: core.SurvivalCDF(r.RegChange).SurvivalAt(x),
+		core.MethodManagedTLS:       core.SurvivalCDF(r.Managed).SurvivalAt(x),
+		core.MethodKeyCompromise:    core.SurvivalCDF(r.KeyComp).SurvivalAt(x),
+	}
+}
+
+// Figure9Row is one (method, cap) cell of the simulated-staleness analysis.
+type Figure9Row struct {
+	Method core.Method
+	core.CapResult
+}
+
+// Figure9 simulates lifetime caps per method (paper Figure 9a–c).
+func (r *Results) Figure9(caps []int) []Figure9Row {
+	if caps == nil {
+		caps = core.StandardCaps
+	}
+	var out []Figure9Row
+	for _, m := range []core.Method{core.MethodKeyCompromise, core.MethodRegistrantChange, core.MethodManagedTLS} {
+		for _, res := range core.SimulateCaps(r.ByMethod(m), caps) {
+			out = append(out, Figure9Row{Method: m, CapResult: res})
+		}
+	}
+	return out
+}
+
+// Figure9Table renders Figure 9 as a table of staleness-day reductions.
+func (r *Results) Figure9Table(caps []int) *report.Table {
+	t := &report.Table{
+		Title: "Figure 9: Simulated staleness under maximum-lifetime caps",
+		Columns: []string{"Method", "Cap (days)", "Stale certs", "Remaining",
+			"Cert reduction %", "Staleness days", "Capped days", "Day reduction %"},
+	}
+	for _, row := range r.Figure9(caps) {
+		t.AddRow(row.Method.String(), row.CapDays, row.StaleCerts, row.RemainingStale,
+			row.StaleCertReductionPct(), row.StalenessDays, row.CappedStaleDays,
+			row.StalenessDayReductionPct())
+	}
+	return t
+}
+
+// Headline computes the paper's headline estimate: reductions under a 90-day
+// maximum lifetime across all three third-party methods.
+type Headline struct {
+	CertReductionPct map[core.Method]float64
+	DayReductionPct  map[core.Method]float64
+	// OverallDayReductionPct pools every third-party stale certificate.
+	OverallDayReductionPct float64
+	// NewStaleE2LDsPerDay sums the daily e2LD rates (the "15K new domains
+	// per day" abstract figure, at simulation scale).
+	NewStaleE2LDsPerDay float64
+}
+
+// Headline runs the §6 headline analysis at a 90-day cap.
+func (r *Results) Headline() Headline {
+	h := Headline{
+		CertReductionPct: make(map[core.Method]float64),
+		DayReductionPct:  make(map[core.Method]float64),
+	}
+	var pooled []core.StaleCert
+	for _, m := range []core.Method{core.MethodKeyCompromise, core.MethodRegistrantChange, core.MethodManagedTLS} {
+		stale := r.ByMethod(m)
+		res := core.SimulateCap(stale, 90)
+		h.CertReductionPct[m] = res.StaleCertReductionPct()
+		h.DayReductionPct[m] = res.StalenessDayReductionPct()
+		pooled = append(pooled, stale...)
+	}
+	h.OverallDayReductionPct = core.SimulateCap(pooled, 90).StalenessDayReductionPct()
+	rows := r.Table4Rows()
+	for _, row := range rows {
+		if row.Method != core.MethodRevocation {
+			h.NewStaleE2LDsPerDay += row.E2LDsPerDay()
+		}
+	}
+	return h
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"stalecert/internal/core"
+	"stalecert/internal/dnssim"
+	"stalecert/internal/report"
+	"stalecert/internal/reputation"
+	"stalecert/internal/simtime"
+)
+
+// Table3 summarises the datasets the run produced (paper Table 3).
+func (r *Results) Table3() *report.Table {
+	t := &report.Table{
+		Title:   "Table 3: Datasets",
+		Columns: []string{"Dataset", "Used for", "Date range", "Size", "Details"},
+	}
+	w := r.World
+	t.AddRow("CT",
+		"Revocations, Managed TLS, Registrant change",
+		fmt.Sprintf("%s - %s", w.S.Start, w.S.End),
+		fmt.Sprintf("%d certs (deduplicated)", r.Corpus.Len()),
+		fmt.Sprintf("%d raw entries across %d logs; %d precert/final pairs merged",
+			r.CTDedupStats.Raw, len(w.Logs.Logs()), r.CTDedupStats.PrecertMerged))
+	cov := w.Ledger.Total()
+	t.AddRow("CRL",
+		"Revocations",
+		fmt.Sprintf("%s - %s", w.S.CRLWindow.Start, w.S.CRLWindow.End-1),
+		fmt.Sprintf("%d revocations", r.RevStats.TotalRevocations),
+		fmt.Sprintf("daily collection of %d CRLs, %.1f%% coverage", cov.Attempted, cov.Percent()))
+	t.AddRow("WHOIS",
+		"Registrant change",
+		fmt.Sprintf("%s - %s", w.S.WHOISWindow.Start, w.S.WHOISWindow.End-1),
+		fmt.Sprintf("%d records (%d domains)", w.Whois.Rows(), w.Whois.Domains()),
+		".com and .net registration info")
+	avg := w.ADNS.AvgRecordsPerDay()
+	t.AddRow("aDNS",
+		"Managed TLS",
+		fmt.Sprintf("%s - %s", w.S.ADNSWindow.Start, w.S.ADNSWindow.End-1),
+		fmt.Sprintf("%.0f A/AAAA, %.0f NS, %.0f CNAME records per day",
+			avg[dnssim.TypeA]+avg[dnssim.TypeAAAA], avg[dnssim.TypeNS], avg[dnssim.TypeCNAME]),
+		"daily DNS scans for all e2LDs in public zones")
+	return t
+}
+
+// Table4 reports daily and total stale certificates, FQDNs and e2LDs per
+// detection method (paper Table 4).
+func (r *Results) Table4() *report.Table {
+	t := &report.Table{
+		Title: "Table 4: Stale certificate detection",
+		Columns: []string{"Method", "Date range", "Certs/day", "Certs total",
+			"FQDNs/day", "FQDNs total", "e2LDs/day", "e2LDs total"},
+	}
+	for _, row := range r.Table4Rows() {
+		t.AddRow(row.Method.String(),
+			fmt.Sprintf("%s - %s", row.Range.Start, row.Range.End-1),
+			row.CertsPerDay(), row.Certs,
+			row.FQDNsPerDay(), row.FQDNs,
+			row.E2LDsPerDay(), row.E2LDs)
+	}
+	return t
+}
+
+// Table4Rows computes the four method summaries backing Table 4.
+func (r *Results) Table4Rows() []core.Summary {
+	return []core.Summary{
+		core.Summarize(r.Corpus, r.RevokedAll, core.MethodRevocation, r.RevWindow),
+		core.Summarize(r.Corpus, r.KeyComp, core.MethodKeyCompromise, r.RevWindow),
+		core.Summarize(r.Corpus, r.RegChange, core.MethodRegistrantChange, r.RegWindow),
+		core.Summarize(r.Corpus, r.Managed, core.MethodManagedTLS, r.ManagedWindow),
+	}
+}
+
+// Table5 runs the domain-reputation analysis over a random sample of
+// registrant-change stale domains (paper Table 5).
+func (r *Results) Table5(seed int64, sampleSize int, maliciousFraction float64) (*report.Table, reputation.Analysis) {
+	rng := rand.New(rand.NewSource(seed))
+	domains, windows := r.SampleDomains(rng, sampleSize)
+	feed := r.SyntheticFeed(seed+1, domains, windows, maliciousFraction)
+	analysis := feed.Analyze(domains, func(d string) (simtime.Span, bool) {
+		w, ok := windows[d]
+		return w, ok
+	})
+
+	t := &report.Table{
+		Title:   "Table 5: Domain reputation",
+		Columns: []string{"Bucket", "Count"},
+	}
+	t.AddRow("Sampled domains", analysis.Sampled)
+	t.AddRow("Malware domains", analysis.MalwareDomains)
+	t.AddRow("URL domains", analysis.URLDomains)
+	t.AddRow("MW only", analysis.MWOnly)
+	t.AddRow("MW + URL", analysis.MWAndURL)
+	t.AddRow("URL only", analysis.URLOnly)
+	fams := make([]string, 0, len(analysis.ByFamily))
+	for f := range analysis.ByFamily {
+		fams = append(fams, f)
+	}
+	sort.Strings(fams)
+	for _, f := range fams {
+		t.AddRow("malware: "+f, analysis.ByFamily[f])
+	}
+	cats := []reputation.URLCategory{reputation.CatPhishing, reputation.CatMalicious, reputation.CatMalware}
+	for _, c := range cats {
+		t.AddRow("url: "+string(c), analysis.ByCategory[c])
+	}
+	return t, analysis
+}
+
+// Table6 buckets stale-certificate domains by their best popularity rank
+// (paper Table 6).
+func (r *Results) Table6(seed int64) *report.Table {
+	samples := r.PopularitySamples(seed)
+	t := &report.Table{
+		Title:   "Table 6: Domain popularity",
+		Columns: []string{"Rank", "Reg. change", "Managed TLS dept.", "Key compromise"},
+	}
+	reg := r.methodE2LDs(core.MethodRegistrantChange)
+	managed := r.methodE2LDs(core.MethodManagedTLS)
+	kc := r.methodE2LDs(core.MethodKeyCompromise)
+	regB := samples.BucketCounts(reg)
+	manB := samples.BucketCounts(managed)
+	kcB := samples.BucketCounts(kc)
+	for i, l := range BucketLabels {
+		t.AddRow(l, regB[i], manB[i], kcB[i])
+	}
+	t.AddRow("Total domains", len(reg), len(managed), len(kc))
+	pct := func(b []int, total int) string {
+		if total == 0 {
+			return "0%"
+		}
+		return fmt.Sprintf("%.1f%%", 100*float64(b[len(b)-1])/float64(total))
+	}
+	t.AddRow("% of total", pct(regB, len(reg)), pct(manB, len(managed)), pct(kcB, len(kc)))
+	return t
+}
+
+// methodE2LDs returns the distinct affected e2LDs for a method.
+func (r *Results) methodE2LDs(m core.Method) []string {
+	seen := make(map[string]bool)
+	for _, s := range r.ByMethod(m) {
+		if s.Domain != "" {
+			seen[s.Domain] = true
+			continue
+		}
+		for _, e2 := range r.Corpus.E2LDsOf(s.Cert) {
+			seen[e2] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Table7 is the per-CA CRL coverage table (paper Appendix B / Table 7).
+func (r *Results) Table7() *report.Table {
+	t := &report.Table{
+		Title:   "Table 7: CRL coverage",
+		Columns: []string{"CA Name", "CRL coverage", "Percent"},
+	}
+	for _, row := range r.World.Ledger.Rows() {
+		t.AddRow(row.CAName, fmt.Sprintf("%d / %d", row.Succeeded, row.Attempted),
+			fmt.Sprintf("%.2f%%", row.Percent()))
+	}
+	total := r.World.Ledger.Total()
+	t.AddRow("Total Coverage", fmt.Sprintf("%d / %d", total.Succeeded, total.Attempted),
+		fmt.Sprintf("%.2f%%", total.Percent()))
+	return t
+}
+
+// BucketLabels are Table 6's tier labels, aligned with popularity.Buckets.
+var BucketLabels = []string{"Top 1K", "Top 10K", "Top 100K", "Top 1M"}

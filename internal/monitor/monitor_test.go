@@ -1,0 +1,277 @@
+package monitor
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"stalecert/internal/crl"
+	"stalecert/internal/ctlog"
+	"stalecert/internal/dnsname"
+	"stalecert/internal/dnssim"
+	"stalecert/internal/registry"
+	"stalecert/internal/revcheck"
+	"stalecert/internal/simtime"
+	"stalecert/internal/whois"
+	"stalecert/internal/x509sim"
+)
+
+func mkCert(t *testing.T, serial uint64, names []string, nb, na simtime.Day) *x509sim.Certificate {
+	t.Helper()
+	c, err := x509sim.New(x509sim.SerialNumber(serial), 1, x509sim.KeyID(serial), names, nb, na)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCTWatcherIncrementalPolling(t *testing.T) {
+	log := ctlog.New("watchme", ctlog.Shard{})
+	srv := ctlog.NewServer(log)
+	srv.SetNow(10)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ctlog.NewClient(ts.URL, ts.Client())
+
+	w := NewCTWatcher(client, "watched.com")
+	ctx := context.Background()
+
+	// Empty log: no hits.
+	hits, err := w.Poll(ctx)
+	if err != nil || len(hits) != 0 {
+		t.Fatalf("empty poll = %v %v", hits, err)
+	}
+
+	if _, err := log.AddChain(mkCert(t, 1, []string{"watched.com", "www.watched.com"}, 0, 100), 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.AddChain(mkCert(t, 2, []string{"other.com"}, 0, 100), 10); err != nil {
+		t.Fatal(err)
+	}
+	hits, err = w.Poll(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].Domains[0] != "watched.com" {
+		t.Fatalf("hits = %+v", hits)
+	}
+	// Second poll resumes: nothing new.
+	hits, err = w.Poll(ctx)
+	if err != nil || len(hits) != 0 {
+		t.Fatalf("resume poll = %v %v", hits, err)
+	}
+	if w.NextIndex() != 2 {
+		t.Fatalf("next = %d", w.NextIndex())
+	}
+	// Wildcard SAN on a watched domain matches too.
+	if _, err := log.AddChain(mkCert(t, 3, []string{"*.watched.com"}, 0, 100), 11); err != nil {
+		t.Fatal(err)
+	}
+	hits, _ = w.Poll(ctx)
+	if len(hits) != 1 {
+		t.Fatalf("wildcard hits = %+v", hits)
+	}
+}
+
+func TestCTWatcherWatchEverything(t *testing.T) {
+	log := ctlog.New("all", ctlog.Shard{})
+	srv := ctlog.NewServer(log)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	w := NewCTWatcher(ctlog.NewClient(ts.URL, ts.Client())) // no filter
+	if _, err := log.AddChain(mkCert(t, 1, []string{"anything.net"}, 0, 9), 1); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := w.Poll(context.Background())
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("hits = %v %v", hits, err)
+	}
+}
+
+func TestEvaluatorRegistrantChange(t *testing.T) {
+	reg := registry.New("com")
+	// New owner registered at day 200; cert issued day 100 by the old owner.
+	if _, err := reg.Register("flip.com", "newowner", "DropCatch", 200, 1); err != nil {
+		t.Fatal(err)
+	}
+	wsrv := whois.NewServer(&whois.RegistrySource{Registry: reg})
+	addr, err := wsrv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wsrv.Close()
+
+	cert := mkCert(t, 1, []string{"flip.com"}, 100, 460)
+	ev := &Evaluator{WhoisAddr: addr.String(), Now: 250}
+	alerts, err := ev.Evaluate(context.Background(), Hit{
+		Entry:   ctlog.Entry{Cert: cert},
+		Domains: []string{"flip.com"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != 1 || alerts[0].Kind != AlertRegistrantChange {
+		t.Fatalf("alerts = %+v", alerts)
+	}
+
+	// A cert issued AFTER the re-registration is the new owner's: no alert.
+	fresh := mkCert(t, 2, []string{"flip.com"}, 210, 400)
+	alerts, err = ev.Evaluate(context.Background(), Hit{Entry: ctlog.Entry{Cert: fresh}, Domains: []string{"flip.com"}})
+	if err != nil || len(alerts) != 0 {
+		t.Fatalf("fresh cert alerts = %+v %v", alerts, err)
+	}
+
+	// Expired certs never alert.
+	old := mkCert(t, 3, []string{"flip.com"}, 100, 150)
+	alerts, _ = ev.Evaluate(context.Background(), Hit{Entry: ctlog.Entry{Cert: old}, Domains: []string{"flip.com"}})
+	if len(alerts) != 0 {
+		t.Fatalf("expired cert alerts = %+v", alerts)
+	}
+}
+
+func TestEvaluatorManagedDeparture(t *testing.T) {
+	com := dnssim.NewZone("com")
+	// gone.com has migrated away (self NS); still.com is still delegated.
+	if err := com.Add(dnssim.Record{Name: "gone.com", Type: dnssim.TypeNS, TTL: 60, Data: "ns1.self.net"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := com.Add(dnssim.Record{Name: "still.com", Type: dnssim.TypeNS, TTL: 60, Data: "kiki.ns.cloudflare.com"}); err != nil {
+		t.Fatal(err)
+	}
+	store := dnssim.NewStore()
+	store.AddZone(com)
+	dsrv := dnssim.NewServer(store)
+	addr, err := dsrv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dsrv.Close()
+
+	ev := &Evaluator{
+		Resolver: &dnssim.Resolver{ServerAddr: addr.String(), Timeout: time.Second},
+		IsProviderRecord: func(r dnssim.Record) bool {
+			return r.Type == dnssim.TypeNS && dnsname.IsSubdomain(r.Data, "ns.cloudflare.com")
+		},
+		MarkerSuffix: "cloudflaressl.com",
+		Now:          200,
+	}
+	ctx := context.Background()
+
+	managedGone := mkCert(t, 1, []string{"sni5.cloudflaressl.com", "gone.com"}, 100, 460)
+	alerts, err := ev.Evaluate(ctx, Hit{Entry: ctlog.Entry{Cert: managedGone}, Domains: []string{"gone.com"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != 1 || alerts[0].Kind != AlertManagedDeparture {
+		t.Fatalf("alerts = %+v", alerts)
+	}
+
+	managedStill := mkCert(t, 2, []string{"sni6.cloudflaressl.com", "still.com"}, 100, 460)
+	alerts, err = ev.Evaluate(ctx, Hit{Entry: ctlog.Entry{Cert: managedStill}, Domains: []string{"still.com"}})
+	if err != nil || len(alerts) != 0 {
+		t.Fatalf("still-delegated alerts = %+v %v", alerts, err)
+	}
+
+	// Non-managed cert for a departed domain: the marker check gates it.
+	uploaded := mkCert(t, 3, []string{"gone.com"}, 100, 460)
+	alerts, _ = ev.Evaluate(ctx, Hit{Entry: ctlog.Entry{Cert: uploaded}, Domains: []string{"gone.com"}})
+	if len(alerts) != 0 {
+		t.Fatalf("uploaded cert alerts = %+v", alerts)
+	}
+}
+
+func TestEvaluatorRevokedValid(t *testing.T) {
+	cert := mkCert(t, 1, []string{"r.com"}, 100, 460)
+	a := crl.NewAuthority("CA")
+	a.Revoke(cert.Issuer, cert.Serial, 150, crl.KeyCompromise)
+	ev := &Evaluator{
+		Revocation: &revcheck.CRLChecker{Authorities: map[x509sim.IssuerID]*crl.Authority{cert.Issuer: a}},
+		Now:        200,
+	}
+	alerts, err := ev.Evaluate(context.Background(), Hit{Entry: ctlog.Entry{Cert: cert}, Domains: []string{"r.com"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != 1 || alerts[0].Kind != AlertRevokedValid {
+		t.Fatalf("alerts = %+v", alerts)
+	}
+}
+
+func TestAlertKindStrings(t *testing.T) {
+	if AlertRegistrantChange.String() != "registrant-change" ||
+		AlertManagedDeparture.String() != "managed-tls-departure" ||
+		AlertRevokedValid.String() != "revoked-but-valid" {
+		t.Fatal("alert kind names wrong")
+	}
+}
+
+func TestCTWatcherVerifiesConsistencyAcrossPolls(t *testing.T) {
+	log := ctlog.New("consistent", ctlog.Shard{})
+	srv := ctlog.NewServer(log)
+	srv.SetNow(1)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	w := NewCTWatcher(ctlog.NewClient(ts.URL, ts.Client()), "w.com")
+	ctx := context.Background()
+
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 5; i++ {
+			serial := uint64(round*5 + i + 1)
+			if _, err := log.AddChain(mkCert(t, serial, []string{"w.com"}, 0, 100), simtime.Day(round)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := w.Poll(ctx); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}
+
+func TestCTWatcherDetectsLogSwap(t *testing.T) {
+	// Simulate a log equivocating by swapping the backing log between polls:
+	// same name, different content history.
+	logA := ctlog.New("swap", ctlog.Shard{})
+	for i := 0; i < 4; i++ {
+		if _, err := logA.AddChain(mkCert(t, uint64(i+1), []string{"w.com"}, 0, 100), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srvA := ctlog.NewServer(logA)
+	tsA := httptest.NewServer(srvA.Handler())
+	defer tsA.Close()
+
+	w := NewCTWatcher(ctlog.NewClient(tsA.URL, tsA.Client()), "w.com")
+	if _, err := w.Poll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// A different history served at the same place.
+	logB := ctlog.New("swap", ctlog.Shard{})
+	for i := 0; i < 6; i++ {
+		if _, err := logB.AddChain(mkCert(t, uint64(i+100), []string{"other.com"}, 0, 100), 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srvB := ctlog.NewServer(logB)
+	tsB := httptest.NewServer(srvB.Handler())
+	defer tsB.Close()
+	w.Client = ctlog.NewClient(tsB.URL, tsB.Client())
+
+	if _, err := w.Poll(context.Background()); err == nil {
+		t.Fatal("equivocating log not detected")
+	}
+
+	// Shrinking tree also detected.
+	logC := ctlog.New("swap", ctlog.Shard{})
+	if _, err := logC.AddChain(mkCert(t, 999, []string{"w.com"}, 0, 100), 3); err != nil {
+		t.Fatal(err)
+	}
+	srvC := ctlog.NewServer(logC)
+	tsC := httptest.NewServer(srvC.Handler())
+	defer tsC.Close()
+	w.Client = ctlog.NewClient(tsC.URL, tsC.Client())
+	if _, err := w.Poll(context.Background()); err == nil {
+		t.Fatal("shrinking log not detected")
+	}
+}

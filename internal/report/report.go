@@ -1,0 +1,168 @@
+// Package report renders the reproduction's tables and figure series as
+// aligned text and CSV, so every artifact the paper reports can be printed
+// by cmd/experiments and diffed in EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"stalecert/internal/stats"
+)
+
+// Table is a titled grid with a header row.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row, stringifying each cell.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmtFloat(v)
+		case fmt.Stringer:
+			row[i] = v.String()
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func fmtFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	if v >= 100 || v <= -100 {
+		return fmt.Sprintf("%.1f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// Render returns the table as aligned text.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV returns the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeCSV := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				cell = "\"" + strings.ReplaceAll(cell, "\"", "\"\"") + "\""
+			}
+			b.WriteString(cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeCSV(t.Columns)
+	for _, row := range t.Rows {
+		writeCSV(row)
+	}
+	return b.String()
+}
+
+// Series is a multi-line figure: named curves over a shared X axis.
+type Series struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Names  []string
+	Points map[string][]stats.Point
+}
+
+// NewSeries creates an empty figure.
+func NewSeries(title, xlabel, ylabel string) *Series {
+	return &Series{Title: title, XLabel: xlabel, YLabel: ylabel, Points: make(map[string][]stats.Point)}
+}
+
+// Add appends a named curve.
+func (s *Series) Add(name string, pts []stats.Point) {
+	if _, ok := s.Points[name]; !ok {
+		s.Names = append(s.Names, name)
+	}
+	s.Points[name] = pts
+}
+
+// Render returns the series as a wide table: one X column, one Y column per
+// curve. Curves are aligned on the union of X values.
+func (s *Series) Render() string {
+	t := &Table{Title: s.Title, Columns: append([]string{s.XLabel}, s.Names...)}
+	// Union of xs, in first-seen order assuming curves share grids; fall
+	// back to merging distinct values.
+	seen := make(map[float64]bool)
+	var xs []float64
+	for _, name := range s.Names {
+		for _, p := range s.Points[name] {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	index := make(map[string]map[float64]float64, len(s.Names))
+	for _, name := range s.Names {
+		m := make(map[float64]float64, len(s.Points[name]))
+		for _, p := range s.Points[name] {
+			m[p.X] = p.Y
+		}
+		index[name] = m
+	}
+	for _, x := range xs {
+		row := []any{x}
+		for _, name := range s.Names {
+			if y, ok := index[name][x]; ok {
+				row = append(row, y)
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t.Render()
+}

@@ -1,0 +1,91 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"stalecert/internal/stats"
+)
+
+func TestTableRenderAlignment(t *testing.T) {
+	tbl := &Table{Title: "T", Columns: []string{"Name", "Count"}}
+	tbl.AddRow("short", 1)
+	tbl.AddRow("a-much-longer-name", 12345)
+	out := tbl.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "== T ==") {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	// All data lines share the column boundary.
+	idx := strings.Index(lines[1], "Count")
+	if idx < 0 {
+		t.Fatal("no Count header")
+	}
+	for _, l := range lines[3:] {
+		if len(l) < idx {
+			t.Fatalf("row too short: %q", l)
+		}
+	}
+}
+
+func TestTableAddRowFormatting(t *testing.T) {
+	tbl := &Table{Columns: []string{"A", "B", "C", "D"}}
+	tbl.AddRow("s", 3.0, 3.14159, 1234.5)
+	row := tbl.Rows[0]
+	if row[0] != "s" || row[1] != "3" || row[2] != "3.14" || row[3] != "1234.5" {
+		t.Fatalf("row = %v", row)
+	}
+}
+
+func TestTableCSVEscaping(t *testing.T) {
+	tbl := &Table{Columns: []string{"Name", "Note"}}
+	tbl.AddRow("a,b", `say "hi"`)
+	csv := tbl.CSV()
+	want := "Name,Note\n\"a,b\",\"say \"\"hi\"\"\"\n"
+	if csv != want {
+		t.Fatalf("csv = %q, want %q", csv, want)
+	}
+}
+
+func TestSeriesRenderUnionGrid(t *testing.T) {
+	s := NewSeries("Fig", "X", "Y")
+	s.Add("a", []stats.Point{{X: 0, Y: 0.1}, {X: 10, Y: 0.5}})
+	s.Add("b", []stats.Point{{X: 10, Y: 0.9}, {X: 20, Y: 1.0}})
+	out := s.Render()
+	if !strings.Contains(out, "== Fig ==") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + sep + 3 x-values (0, 10, 20)
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// x=0 has no value for b; x=10 has both.
+	if !strings.Contains(lines[4], "0.5") || !strings.Contains(lines[4], "0.9") {
+		t.Fatalf("x=10 row = %q", lines[4])
+	}
+}
+
+func TestSeriesAddKeepsOrderAndReplaces(t *testing.T) {
+	s := NewSeries("F", "x", "y")
+	s.Add("z", nil)
+	s.Add("a", nil)
+	s.Add("z", []stats.Point{{X: 1, Y: 1}}) // replace, no duplicate name
+	if len(s.Names) != 2 || s.Names[0] != "z" || s.Names[1] != "a" {
+		t.Fatalf("names = %v", s.Names)
+	}
+	if len(s.Points["z"]) != 1 {
+		t.Fatal("replace failed")
+	}
+}
+
+func TestEmptyTableRender(t *testing.T) {
+	tbl := &Table{Columns: []string{"Only"}}
+	out := tbl.Render()
+	if !strings.Contains(out, "Only") {
+		t.Fatalf("out = %q", out)
+	}
+}

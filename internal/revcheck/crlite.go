@@ -1,0 +1,46 @@
+package revcheck
+
+import (
+	"encoding/binary"
+
+	"stalecert/internal/crl"
+	"stalecert/internal/crlite"
+	"stalecert/internal/simtime"
+	"stalecert/internal/x509sim"
+)
+
+// CRLiteChecker wraps a Bloom-filter cascade as a Checker. The filter is
+// local to the client, so lookups never touch the network: an on-path
+// attacker cannot turn it into a soft-fail bypass, which is why the paper
+// names CRLite-style designs as the path to effective revocation (§7.2).
+func CRLiteChecker(filter *crlite.Filter) Checker {
+	return CheckerFunc(func(cert *x509sim.Certificate, _ simtime.Day) (Status, crl.Reason, error) {
+		if filter.IsRevoked(dedupKeyBytes(cert)) {
+			return StatusRevoked, crl.Unspecified, nil
+		}
+		return StatusGood, 0, nil
+	})
+}
+
+// dedupKeyBytes serialises a certificate's (issuer, serial) join key for
+// filter membership.
+func dedupKeyBytes(cert *x509sim.Certificate) []byte {
+	b := make([]byte, 10)
+	binary.BigEndian.PutUint16(b, uint16(cert.Issuer))
+	binary.BigEndian.PutUint64(b[2:], uint64(cert.Serial))
+	return b
+}
+
+// BuildCRLiteFilter constructs a cascade for a certificate universe given
+// the revoked subset, keyed by (issuer, serial).
+func BuildCRLiteFilter(universe []*x509sim.Certificate, isRevoked func(*x509sim.Certificate) bool) (*crlite.Filter, error) {
+	var revoked, valid [][]byte
+	for _, c := range universe {
+		if isRevoked(c) {
+			revoked = append(revoked, dedupKeyBytes(c))
+		} else {
+			valid = append(valid, dedupKeyBytes(c))
+		}
+	}
+	return crlite.Build(revoked, valid, 0)
+}

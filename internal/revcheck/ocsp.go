@@ -1,0 +1,159 @@
+package revcheck
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+
+	"stalecert/internal/crl"
+	"stalecert/internal/simtime"
+	"stalecert/internal/x509sim"
+)
+
+// This file implements an OCSP-style online status protocol (RFC 6960 in
+// spirit): a binary request/response over HTTP POST, a responder backed by
+// CRL authorities, and a client-side checker.
+
+// OCSP wire format (all big-endian):
+//
+//	request:  magic(1)=0xA0 | issuer(2) | serial(8)
+//	response: magic(1)=0xA1 | status(1) | reason(1) | revokedAt(4) | producedAt(4)
+const (
+	ocspReqMagic  = 0xA0
+	ocspRespMagic = 0xA1
+	ocspReqLen    = 1 + 2 + 8
+	ocspRespLen   = 1 + 1 + 1 + 4 + 4
+)
+
+// OCSPResponse is a parsed responder answer.
+type OCSPResponse struct {
+	Status     Status
+	Reason     crl.Reason
+	RevokedAt  simtime.Day
+	ProducedAt simtime.Day
+}
+
+// MarshalOCSPRequest encodes a status request for a certificate key.
+func MarshalOCSPRequest(key x509sim.DedupKey) []byte {
+	b := make([]byte, ocspReqLen)
+	b[0] = ocspReqMagic
+	binary.BigEndian.PutUint16(b[1:], uint16(key.Issuer))
+	binary.BigEndian.PutUint64(b[3:], uint64(key.Serial))
+	return b
+}
+
+// UnmarshalOCSPRequest decodes a status request.
+func UnmarshalOCSPRequest(b []byte) (x509sim.DedupKey, error) {
+	if len(b) != ocspReqLen || b[0] != ocspReqMagic {
+		return x509sim.DedupKey{}, errors.New("revcheck: malformed OCSP request")
+	}
+	return x509sim.DedupKey{
+		Issuer: x509sim.IssuerID(binary.BigEndian.Uint16(b[1:])),
+		Serial: x509sim.SerialNumber(binary.BigEndian.Uint64(b[3:])),
+	}, nil
+}
+
+// MarshalOCSPResponse encodes a responder answer.
+func MarshalOCSPResponse(r OCSPResponse) []byte {
+	b := make([]byte, ocspRespLen)
+	b[0] = ocspRespMagic
+	b[1] = byte(r.Status)
+	b[2] = byte(r.Reason)
+	binary.BigEndian.PutUint32(b[3:], uint32(int32(r.RevokedAt)))
+	binary.BigEndian.PutUint32(b[7:], uint32(int32(r.ProducedAt)))
+	return b
+}
+
+// UnmarshalOCSPResponse decodes a responder answer.
+func UnmarshalOCSPResponse(b []byte) (OCSPResponse, error) {
+	if len(b) != ocspRespLen || b[0] != ocspRespMagic {
+		return OCSPResponse{}, errors.New("revcheck: malformed OCSP response")
+	}
+	return OCSPResponse{
+		Status:     Status(b[1]),
+		Reason:     crl.Reason(b[2]),
+		RevokedAt:  simtime.Day(int32(binary.BigEndian.Uint32(b[3:]))),
+		ProducedAt: simtime.Day(int32(binary.BigEndian.Uint32(b[7:]))),
+	}, nil
+}
+
+// OCSPResponder serves status queries over HTTP POST /ocsp, backed by the
+// issuing CAs' revocation authorities.
+type OCSPResponder struct {
+	Authorities map[x509sim.IssuerID]*crl.Authority
+	now         atomic.Int64
+}
+
+// SetNow advances the responder's clock (producedAt stamps).
+func (o *OCSPResponder) SetNow(d simtime.Day) { o.now.Store(int64(d)) }
+
+// Handler returns the HTTP handler.
+func (o *OCSPResponder) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ocsp", func(w http.ResponseWriter, r *http.Request) {
+		raw, err := io.ReadAll(io.LimitReader(r.Body, 64))
+		if err != nil {
+			http.Error(w, "read error", http.StatusBadRequest)
+			return
+		}
+		key, err := UnmarshalOCSPRequest(raw)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp := OCSPResponse{Status: StatusGood, ProducedAt: simtime.Day(o.now.Load())}
+		a, ok := o.Authorities[key.Issuer]
+		if !ok {
+			resp.Status = StatusUnavailable
+		} else if e, revoked := a.IsRevoked(key); revoked && e.RevokedAt <= resp.ProducedAt {
+			resp.Status = StatusRevoked
+			resp.Reason = e.Reason
+			resp.RevokedAt = e.RevokedAt
+		}
+		w.Header().Set("Content-Type", "application/ocsp-response")
+		_, _ = w.Write(MarshalOCSPResponse(resp))
+	})
+	return mux
+}
+
+// OCSPChecker queries a responder over HTTP, implementing Checker.
+type OCSPChecker struct {
+	URL string // responder base URL
+	HC  *http.Client
+}
+
+// Check implements Checker.
+func (c *OCSPChecker) Check(cert *x509sim.Certificate, _ simtime.Day) (Status, crl.Reason, error) {
+	hc := c.HC
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodPost,
+		c.URL+"/ocsp", bytes.NewReader(MarshalOCSPRequest(cert.DedupKey())))
+	if err != nil {
+		return StatusUnavailable, 0, err
+	}
+	req.Header.Set("Content-Type", "application/ocsp-request")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return StatusUnavailable, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return StatusUnavailable, 0, fmt.Errorf("revcheck: responder status %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64))
+	if err != nil {
+		return StatusUnavailable, 0, err
+	}
+	parsed, err := UnmarshalOCSPResponse(raw)
+	if err != nil {
+		return StatusUnavailable, 0, err
+	}
+	return parsed.Status, parsed.Reason, nil
+}

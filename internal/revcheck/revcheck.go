@@ -1,0 +1,181 @@
+// Package revcheck models TLS-client revocation checking (§2.4): CRL- and
+// OCSP-based status lookups, browser policy profiles (Chrome and Edge skip
+// subscriber revocation entirely; Firefox and Safari check but soft-fail;
+// curl-style clients don't check), an on-path interceptor that blackholes
+// revocation traffic, and the resulting effectiveness measurement — why the
+// paper concludes revocation provides little recourse against stale
+// certificates.
+package revcheck
+
+import (
+	"errors"
+	"fmt"
+
+	"stalecert/internal/crl"
+	"stalecert/internal/simtime"
+	"stalecert/internal/x509sim"
+)
+
+// Status is a revocation-lookup outcome.
+type Status uint8
+
+// Lookup outcomes.
+const (
+	StatusGood Status = iota
+	StatusRevoked
+	StatusUnavailable // infrastructure unreachable / blocked
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusGood:
+		return "good"
+	case StatusRevoked:
+		return "revoked"
+	case StatusUnavailable:
+		return "unavailable"
+	}
+	return "status?"
+}
+
+// Checker answers revocation queries for certificates.
+type Checker interface {
+	Check(cert *x509sim.Certificate, now simtime.Day) (Status, crl.Reason, error)
+}
+
+// CheckerFunc adapts a function to Checker.
+type CheckerFunc func(cert *x509sim.Certificate, now simtime.Day) (Status, crl.Reason, error)
+
+// Check implements Checker.
+func (f CheckerFunc) Check(cert *x509sim.Certificate, now simtime.Day) (Status, crl.Reason, error) {
+	return f(cert, now)
+}
+
+// CRLChecker consults per-issuer authorities, as a client that downloaded
+// fresh CRLs would.
+type CRLChecker struct {
+	// Authorities maps issuer IDs to their revocation authority.
+	Authorities map[x509sim.IssuerID]*crl.Authority
+}
+
+// Check implements Checker.
+func (c *CRLChecker) Check(cert *x509sim.Certificate, now simtime.Day) (Status, crl.Reason, error) {
+	a, ok := c.Authorities[cert.Issuer]
+	if !ok {
+		return StatusUnavailable, 0, fmt.Errorf("revcheck: no CRL for issuer %d", cert.Issuer)
+	}
+	if e, revoked := a.IsRevoked(cert.DedupKey()); revoked && e.RevokedAt <= now {
+		return StatusRevoked, e.Reason, nil
+	}
+	return StatusGood, 0, nil
+}
+
+// ErrBlocked marks revocation traffic dropped by an on-path attacker.
+var ErrBlocked = errors.New("revcheck: revocation traffic blocked")
+
+// Intercepted wraps a checker behind an on-path attacker who drops
+// revocation traffic — the paper's TLS-interception threat model, where
+// soft-fail policies are defeated by simply blackholing OCSP/CRL fetches.
+func Intercepted(inner Checker) Checker {
+	return CheckerFunc(func(cert *x509sim.Certificate, now simtime.Day) (Status, crl.Reason, error) {
+		return StatusUnavailable, 0, ErrBlocked
+	})
+}
+
+// FailMode is what a client does when revocation status is unavailable.
+type FailMode uint8
+
+// Failure modes.
+const (
+	SoftFail FailMode = iota // proceed when status is unavailable
+	HardFail                 // abort when status is unavailable
+)
+
+// Profile is a TLS client's revocation posture.
+type Profile struct {
+	Name string
+	// ChecksRevocation is false for clients that never query status
+	// (Chrome and Edge for subscriber certs; most non-browser clients).
+	ChecksRevocation bool
+	FailMode         FailMode
+	// HonorsMustStaple hard-fails must-staple certificates even under
+	// SoftFail (Firefox's one exception, §2.4 footnote).
+	HonorsMustStaple bool
+}
+
+// The paper's client landscape.
+var (
+	ProfileChrome  = Profile{Name: "Chrome", ChecksRevocation: false}
+	ProfileEdge    = Profile{Name: "Edge", ChecksRevocation: false}
+	ProfileFirefox = Profile{Name: "Firefox", ChecksRevocation: true, FailMode: SoftFail, HonorsMustStaple: true}
+	ProfileSafari  = Profile{Name: "Safari", ChecksRevocation: true, FailMode: SoftFail}
+	ProfileCurl    = Profile{Name: "curl", ChecksRevocation: false}
+	ProfileStrict  = Profile{Name: "hard-fail", ChecksRevocation: true, FailMode: HardFail}
+)
+
+// Profiles lists the built-in client profiles.
+func Profiles() []Profile {
+	return []Profile{ProfileChrome, ProfileEdge, ProfileFirefox, ProfileSafari, ProfileCurl, ProfileStrict}
+}
+
+// Decision is the outcome of a client's revocation evaluation.
+type Decision struct {
+	Accepted bool
+	// Checked reports whether a status lookup was attempted.
+	Checked bool
+	// Status is the lookup result when Checked.
+	Status Status
+}
+
+// Evaluate runs a profile's revocation logic for a certificate. mustStaple
+// marks certificates carrying the OCSP must-staple extension.
+func (p Profile) Evaluate(cert *x509sim.Certificate, now simtime.Day, checker Checker, mustStaple bool) Decision {
+	if !p.ChecksRevocation {
+		return Decision{Accepted: true}
+	}
+	status, _, err := checker.Check(cert, now)
+	if err != nil || status == StatusUnavailable {
+		if p.FailMode == HardFail || (mustStaple && p.HonorsMustStaple) {
+			return Decision{Accepted: false, Checked: true, Status: StatusUnavailable}
+		}
+		return Decision{Accepted: true, Checked: true, Status: StatusUnavailable} // soft-fail
+	}
+	return Decision{Accepted: status != StatusRevoked, Checked: true, Status: status}
+}
+
+// EffectivenessRow measures one profile's protection against a revoked
+// stale-certificate population.
+type EffectivenessRow struct {
+	Profile Profile
+	// AcceptedDirect is how many revoked certs the client accepts with
+	// working revocation infrastructure.
+	AcceptedDirect int
+	// AcceptedIntercepted is how many it accepts when an on-path attacker
+	// blocks revocation traffic (the scenario that matters for stale-cert
+	// abuse).
+	AcceptedIntercepted int
+	Total               int
+}
+
+// MeasureEffectiveness evaluates every profile against a set of revoked
+// certificates, with and without an interceptor, reproducing the paper's
+// argument that revocation is "absent or easily circumvented".
+func MeasureEffectiveness(certs []*x509sim.Certificate, now simtime.Day, checker Checker, mustStaple func(*x509sim.Certificate) bool) []EffectivenessRow {
+	blocked := Intercepted(checker)
+	rows := make([]EffectivenessRow, 0, len(Profiles()))
+	for _, p := range Profiles() {
+		row := EffectivenessRow{Profile: p, Total: len(certs)}
+		for _, cert := range certs {
+			ms := mustStaple != nil && mustStaple(cert)
+			if p.Evaluate(cert, now, checker, ms).Accepted {
+				row.AcceptedDirect++
+			}
+			if p.Evaluate(cert, now, blocked, ms).Accepted {
+				row.AcceptedIntercepted++
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

@@ -1,0 +1,118 @@
+package tlssim
+
+import (
+	"errors"
+	"net"
+	"testing"
+
+	"stalecert/internal/x509sim"
+)
+
+// pipePair returns connected in-memory conns.
+func pipePair() (net.Conn, net.Conn) {
+	return net.Pipe()
+}
+
+func TestServeRejectsGarbage(t *testing.T) {
+	cert := mustCert(t)
+	client, server := pipePair()
+	done := make(chan error, 1)
+	go func() {
+		_, err := Serve(server, ServerConfig{Cert: cert, Secret: KeySecret(42)})
+		done <- err
+	}()
+	// Send a non-hello message type.
+	if err := writeMsg(client, msgAppData, []byte("nonsense-payload-0123456789012345678901")); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; !errors.Is(err, ErrProtocol) {
+		t.Fatalf("serve err = %v", err)
+	}
+	client.Close()
+	server.Close()
+}
+
+func mustCert(t *testing.T) *x509sim.Certificate {
+	t.Helper()
+	c, err := x509sim.New(1, 1, 42, []string{"example.com"}, 0, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestServeReportsClientAlert(t *testing.T) {
+	cert := mustCert(t)
+	client, server := pipePair()
+	defer client.Close()
+	defer server.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := Serve(server, ServerConfig{Cert: cert, Secret: KeySecret(999)}) // wrong key
+		done <- err
+	}()
+	_, cliErr := Dial(client, ClientConfig{ServerName: "example.com", Now: 100})
+	if !errors.Is(cliErr, ErrBadKeyProof) {
+		t.Fatalf("client err = %v", cliErr)
+	}
+	if srvErr := <-done; !errors.Is(srvErr, ErrProtocol) {
+		t.Fatalf("server should observe the alert, got %v", srvErr)
+	}
+}
+
+func TestReadMsgOversized(t *testing.T) {
+	client, server := pipePair()
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		// type byte + 4-byte length claiming 2 MiB
+		_, _ = client.Write([]byte{msgClientHello, 0x00, 0x20, 0x00, 0x00})
+	}()
+	if _, _, err := readMsg(server); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("oversized frame err = %v", err)
+	}
+}
+
+func TestWrongUsageRejected(t *testing.T) {
+	cert := mustCert(t)
+	cert.Usage = x509sim.UsageCodeSigning // not a server-auth cert
+	client, server := pipePair()
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		_, _ = Serve(server, ServerConfig{Cert: cert, Secret: KeySecret(cert.Key)})
+	}()
+	_, err := Dial(client, ClientConfig{ServerName: "example.com", Now: 100})
+	if !errors.Is(err, ErrWrongUsage) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDialRejectsTruncatedServerHello(t *testing.T) {
+	client, server := pipePair()
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		// Read the hello, reply with a malformed short server hello.
+		_, _, _ = readMsg(server)
+		_ = writeMsg(server, msgServerHello, []byte("short"))
+	}()
+	if _, err := Dial(client, ClientConfig{ServerName: "example.com", Now: 1}); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDialRejectsUndecodableCert(t *testing.T) {
+	client, server := pipePair()
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		_, _, _ = readMsg(server)
+		payload := make([]byte, 64) // 32-byte MAC + garbage cert
+		_ = writeMsg(server, msgServerHello, payload)
+	}()
+	if _, err := Dial(client, ClientConfig{ServerName: "example.com", Now: 1}); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,262 @@
+// Package tlssim is a minimal TLS-flavoured handshake over net.Conn, built
+// on the reproduction's certificate model: the client names a server, the
+// server presents a certificate and proves possession of its key, and the
+// client runs the full verification stack — name matching, validity window,
+// issuer trust, and a revocation policy from internal/revcheck.
+//
+// Its purpose is to make the paper's threat concrete: a third party holding
+// a stale certificate's key passes every check a browser performs and
+// impersonates the domain (examples/interception drives this end to end
+// over TCP).
+//
+// Key possession is simulation-grade: each x509sim.KeyID derives a secret,
+// and the handshake proves knowledge of it via an HMAC over the client
+// nonce. Who legitimately *holds* a key is the world simulator's ground
+// truth; "compromise" means that secret reaching another party.
+package tlssim
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"stalecert/internal/crl"
+	"stalecert/internal/revcheck"
+	"stalecert/internal/simtime"
+	"stalecert/internal/x509sim"
+)
+
+// KeySecret derives the possession secret for a key. In production this is
+// the private key; here it is derivable so simulations are reproducible —
+// the *model* restricts who uses it.
+func KeySecret(id x509sim.KeyID) [32]byte {
+	var buf [16]byte
+	copy(buf[:], "tls-key-secret")
+	binary.BigEndian.PutUint64(buf[8:], uint64(id))
+	return sha256.Sum256(buf[:])
+}
+
+// Message types.
+const (
+	msgClientHello = 1
+	msgServerHello = 2
+	msgFinished    = 3
+	msgAppData     = 4
+	msgAlert       = 5
+)
+
+// Handshake and verification errors.
+var (
+	ErrNameMismatch    = errors.New("tlssim: certificate does not cover server name")
+	ErrExpired         = errors.New("tlssim: certificate outside validity period")
+	ErrUntrustedIssuer = errors.New("tlssim: untrusted issuer")
+	ErrRevoked         = errors.New("tlssim: certificate revoked")
+	ErrBadKeyProof     = errors.New("tlssim: key-possession proof invalid")
+	ErrProtocol        = errors.New("tlssim: protocol violation")
+	ErrWrongUsage      = errors.New("tlssim: certificate not authorized for server authentication")
+)
+
+// writeMsg frames a message: type(1) | length(4) | payload.
+func writeMsg(w io.Writer, typ byte, payload []byte) error {
+	hdr := make([]byte, 5)
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readMsg reads one framed message (1 MiB cap).
+func readMsg(r io.Reader) (byte, []byte, error) {
+	hdr := make([]byte, 5)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > 1<<20 {
+		return 0, nil, fmt.Errorf("%w: oversized message", ErrProtocol)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// ServerConfig configures the presenting side.
+type ServerConfig struct {
+	Cert *x509sim.Certificate
+	// Secret is the possession secret for Cert.Key (KeySecret of whoever
+	// holds the key).
+	Secret [32]byte
+	// Echo is the application payload returned after the handshake.
+	Echo []byte
+}
+
+// Serve runs one handshake + application exchange on conn. It returns the
+// server name the client asked for.
+func Serve(conn net.Conn, cfg ServerConfig) (string, error) {
+	typ, payload, err := readMsg(conn)
+	if err != nil {
+		return "", err
+	}
+	if typ != msgClientHello || len(payload) < 33 {
+		return "", ErrProtocol
+	}
+	var nonce [32]byte
+	copy(nonce[:], payload[:32])
+	serverName := string(payload[32:])
+
+	certBytes := cfg.Cert.Marshal()
+	mac := keyProof(cfg.Secret, nonce, cfg.Cert)
+	hello := make([]byte, 0, 32+len(certBytes))
+	hello = append(hello, mac[:]...)
+	hello = append(hello, certBytes...)
+	if err := writeMsg(conn, msgServerHello, hello); err != nil {
+		return "", err
+	}
+
+	typ, _, err = readMsg(conn)
+	if err != nil {
+		return "", err
+	}
+	switch typ {
+	case msgFinished:
+		if err := writeMsg(conn, msgAppData, cfg.Echo); err != nil {
+			return "", err
+		}
+		return serverName, nil
+	case msgAlert:
+		return serverName, fmt.Errorf("%w: client alert", ErrProtocol)
+	default:
+		return "", ErrProtocol
+	}
+}
+
+// keyProof MACs the client nonce and certificate fingerprint with the key
+// secret, binding the presented certificate to key possession.
+func keyProof(secret [32]byte, nonce [32]byte, cert *x509sim.Certificate) [32]byte {
+	m := hmac.New(sha256.New, secret[:])
+	m.Write(nonce[:])
+	fp := cert.Fingerprint()
+	m.Write(fp[:])
+	var out [32]byte
+	m.Sum(out[:0])
+	return out
+}
+
+// ClientConfig configures the verifying side.
+type ClientConfig struct {
+	ServerName string
+	Now        simtime.Day
+	// TrustedIssuers is the client's root store; nil trusts every issuer.
+	TrustedIssuers map[x509sim.IssuerID]bool
+	// Profile and Checker drive revocation checking; the zero Profile never
+	// checks (Chrome-like).
+	Profile revcheck.Profile
+	Checker revcheck.Checker
+	// MustStaple marks certificates carrying the must-staple extension.
+	MustStaple func(*x509sim.Certificate) bool
+}
+
+// ConnInfo reports a completed client handshake.
+type ConnInfo struct {
+	Cert    *x509sim.Certificate
+	AppData []byte
+	// RevocationDecision is the revocation evaluation that was applied.
+	RevocationDecision revcheck.Decision
+}
+
+// Dial runs the client side of the handshake on conn and verifies the
+// presented certificate. On verification failure an alert is sent and a
+// typed error returned.
+func Dial(conn net.Conn, cfg ClientConfig) (*ConnInfo, error) {
+	var nonce [32]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		return nil, err
+	}
+	hello := append(nonce[:], cfg.ServerName...)
+	if err := writeMsg(conn, msgClientHello, hello); err != nil {
+		return nil, err
+	}
+
+	typ, payload, err := readMsg(conn)
+	if err != nil {
+		return nil, err
+	}
+	if typ != msgServerHello || len(payload) < 33 {
+		return nil, ErrProtocol
+	}
+	var mac [32]byte
+	copy(mac[:], payload[:32])
+	cert, err := x509sim.Unmarshal(payload[32:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+
+	info := &ConnInfo{Cert: cert}
+	if err := verify(cert, mac, nonce, cfg, info); err != nil {
+		_ = writeMsg(conn, msgAlert, []byte(err.Error()))
+		return info, err
+	}
+
+	if err := writeMsg(conn, msgFinished, nil); err != nil {
+		return nil, err
+	}
+	typ, payload, err = readMsg(conn)
+	if err != nil {
+		return nil, err
+	}
+	if typ != msgAppData {
+		return nil, ErrProtocol
+	}
+	info.AppData = payload
+	return info, nil
+}
+
+// verify runs the client's certificate checks in browser order.
+func verify(cert *x509sim.Certificate, mac, nonce [32]byte, cfg ClientConfig, info *ConnInfo) error {
+	if !cert.Covers(cfg.ServerName) {
+		return fmt.Errorf("%w: %q not in %v", ErrNameMismatch, cfg.ServerName, cert.Names)
+	}
+	if !cert.ValidOn(cfg.Now) {
+		return fmt.Errorf("%w: %s not in %s..%s", ErrExpired, cfg.Now, cert.NotBefore, cert.NotAfter)
+	}
+	if cert.Usage&x509sim.UsageServerAuth == 0 {
+		return ErrWrongUsage
+	}
+	if cfg.TrustedIssuers != nil && !cfg.TrustedIssuers[cert.Issuer] {
+		return fmt.Errorf("%w: issuer %d", ErrUntrustedIssuer, cert.Issuer)
+	}
+	// Key-possession proof: the presenter must know the key secret. This is
+	// the check stale certificates PASS — the third party has the key.
+	want := keyProof(KeySecret(cert.Key), nonce, cert)
+	if !hmac.Equal(want[:], mac[:]) {
+		return ErrBadKeyProof
+	}
+	// Revocation per the client's profile.
+	if cfg.Checker != nil || cfg.Profile.ChecksRevocation {
+		checker := cfg.Checker
+		if checker == nil {
+			// Checking profile with no configured checker: status is
+			// unavailable, so the profile's fail mode decides.
+			checker = revcheck.CheckerFunc(func(*x509sim.Certificate, simtime.Day) (revcheck.Status, crl.Reason, error) {
+				return revcheck.StatusUnavailable, 0, errors.New("tlssim: no revocation checker configured")
+			})
+		}
+		ms := cfg.MustStaple != nil && cfg.MustStaple(cert)
+		d := cfg.Profile.Evaluate(cert, cfg.Now, checker, ms)
+		info.RevocationDecision = d
+		if !d.Accepted {
+			return ErrRevoked
+		}
+	}
+	return nil
+}

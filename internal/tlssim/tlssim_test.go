@@ -1,0 +1,215 @@
+package tlssim
+
+import (
+	"errors"
+	"net"
+	"testing"
+
+	"stalecert/internal/crl"
+	"stalecert/internal/revcheck"
+	"stalecert/internal/simtime"
+	"stalecert/internal/x509sim"
+)
+
+func testCert(t *testing.T, names []string, nb, na int) *x509sim.Certificate {
+	t.Helper()
+	c, err := x509sim.New(1, 1, 42, names, simtime.Day(nb), simtime.Day(na))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// handshake runs server and client over a real TCP connection.
+func handshake(t *testing.T, srv ServerConfig, cli ClientConfig) (*ConnInfo, error, string, error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	type srvResult struct {
+		name string
+		err  error
+	}
+	srvCh := make(chan srvResult, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			srvCh <- srvResult{err: err}
+			return
+		}
+		defer conn.Close()
+		name, err := Serve(conn, srv)
+		srvCh <- srvResult{name: name, err: err}
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	info, cliErr := Dial(conn, cli)
+	sr := <-srvCh
+	return info, cliErr, sr.name, sr.err
+}
+
+func TestHandshakeSuccess(t *testing.T) {
+	cert := testCert(t, []string{"example.com", "*.example.com"}, 0, 400)
+	srv := ServerConfig{Cert: cert, Secret: KeySecret(cert.Key), Echo: []byte("hello")}
+	cli := ClientConfig{ServerName: "www.example.com", Now: 100}
+	info, err, name, srvErr := handshake(t, srv, cli)
+	if err != nil || srvErr != nil {
+		t.Fatalf("handshake: client=%v server=%v", err, srvErr)
+	}
+	if string(info.AppData) != "hello" {
+		t.Fatalf("app data = %q", info.AppData)
+	}
+	if name != "www.example.com" {
+		t.Fatalf("SNI seen by server = %q", name)
+	}
+	if info.Cert.Fingerprint() != cert.Fingerprint() {
+		t.Fatal("cert drifted over the wire")
+	}
+}
+
+func TestHandshakeNameMismatch(t *testing.T) {
+	cert := testCert(t, []string{"other.com"}, 0, 400)
+	srv := ServerConfig{Cert: cert, Secret: KeySecret(cert.Key)}
+	_, err, _, _ := handshake(t, srv, ClientConfig{ServerName: "victim.com", Now: 100})
+	if !errors.Is(err, ErrNameMismatch) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHandshakeExpired(t *testing.T) {
+	cert := testCert(t, []string{"example.com"}, 0, 50)
+	srv := ServerConfig{Cert: cert, Secret: KeySecret(cert.Key)}
+	_, err, _, _ := handshake(t, srv, ClientConfig{ServerName: "example.com", Now: 100})
+	if !errors.Is(err, ErrExpired) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHandshakeUntrustedIssuer(t *testing.T) {
+	cert := testCert(t, []string{"example.com"}, 0, 400)
+	srv := ServerConfig{Cert: cert, Secret: KeySecret(cert.Key)}
+	cli := ClientConfig{
+		ServerName:     "example.com",
+		Now:            100,
+		TrustedIssuers: map[x509sim.IssuerID]bool{99: true},
+	}
+	_, err, _, _ := handshake(t, srv, cli)
+	if !errors.Is(err, ErrUntrustedIssuer) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHandshakeWrongKeyProof(t *testing.T) {
+	cert := testCert(t, []string{"example.com"}, 0, 400)
+	// Presenter does NOT hold the certificate's key.
+	srv := ServerConfig{Cert: cert, Secret: KeySecret(999)}
+	_, err, _, _ := handshake(t, srv, ClientConfig{ServerName: "example.com", Now: 100})
+	if !errors.Is(err, ErrBadKeyProof) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHandshakeRevocationPolicies(t *testing.T) {
+	cert := testCert(t, []string{"example.com"}, 0, 400)
+	authority := crl.NewAuthority("CA")
+	authority.Revoke(cert.Issuer, cert.Serial, 50, crl.KeyCompromise)
+	checker := &revcheck.CRLChecker{Authorities: map[x509sim.IssuerID]*crl.Authority{cert.Issuer: authority}}
+	srv := ServerConfig{Cert: cert, Secret: KeySecret(cert.Key), Echo: []byte("x")}
+
+	// Chrome never checks: revoked cert accepted.
+	info, err, _, _ := handshake(t, srv, ClientConfig{
+		ServerName: "example.com", Now: 100,
+		Profile: revcheck.ProfileChrome, Checker: checker,
+	})
+	if err != nil {
+		t.Fatalf("Chrome rejected: %v", err)
+	}
+	if info.RevocationDecision.Checked {
+		t.Fatal("Chrome should not have checked")
+	}
+
+	// Firefox checks and rejects with working infrastructure.
+	_, err, _, _ = handshake(t, srv, ClientConfig{
+		ServerName: "example.com", Now: 100,
+		Profile: revcheck.ProfileFirefox, Checker: checker,
+	})
+	if !errors.Is(err, ErrRevoked) {
+		t.Fatalf("Firefox err = %v", err)
+	}
+
+	// Firefox soft-fails when the attacker blocks revocation traffic.
+	info, err, _, _ = handshake(t, srv, ClientConfig{
+		ServerName: "example.com", Now: 100,
+		Profile: revcheck.ProfileFirefox, Checker: revcheck.Intercepted(checker),
+	})
+	if err != nil {
+		t.Fatalf("Firefox under interception rejected: %v", err)
+	}
+	if info.RevocationDecision.Status != revcheck.StatusUnavailable {
+		t.Fatalf("decision = %+v", info.RevocationDecision)
+	}
+
+	// Hard-fail rejects under interception.
+	_, err, _, _ = handshake(t, srv, ClientConfig{
+		ServerName: "example.com", Now: 100,
+		Profile: revcheck.ProfileStrict, Checker: revcheck.Intercepted(checker),
+	})
+	if !errors.Is(err, ErrRevoked) {
+		t.Fatalf("hard-fail err = %v", err)
+	}
+}
+
+func TestHandshakeCheckingProfileWithoutChecker(t *testing.T) {
+	cert := testCert(t, []string{"example.com"}, 0, 400)
+	srv := ServerConfig{Cert: cert, Secret: KeySecret(cert.Key), Echo: []byte("x")}
+	// Soft-fail profile with no checker configured: proceeds.
+	_, err, _, _ := handshake(t, srv, ClientConfig{
+		ServerName: "example.com", Now: 100, Profile: revcheck.ProfileSafari,
+	})
+	if err != nil {
+		t.Fatalf("soft-fail without checker: %v", err)
+	}
+	// Hard-fail profile with no checker: rejects.
+	_, err, _, _ = handshake(t, srv, ClientConfig{
+		ServerName: "example.com", Now: 100, Profile: revcheck.ProfileStrict,
+	})
+	if !errors.Is(err, ErrRevoked) {
+		t.Fatalf("hard-fail without checker: %v", err)
+	}
+}
+
+func TestStaleCertImpersonationEndToEnd(t *testing.T) {
+	// The paper's threat, end to end: a managed-TLS provider's certificate
+	// for a departed customer still passes every browser check.
+	cert := testCert(t, []string{"sni1.cloudflaressl.com", "leaver.com", "*.leaver.com"}, 0, 400)
+	provider := ServerConfig{Cert: cert, Secret: KeySecret(cert.Key), Echo: []byte("intercepted!")}
+	browser := ClientConfig{
+		ServerName:     "www.leaver.com",
+		Now:            300, // long after the customer left the provider
+		TrustedIssuers: map[x509sim.IssuerID]bool{cert.Issuer: true},
+		Profile:        revcheck.ProfileChrome,
+	}
+	info, err, _, _ := handshake(t, provider, browser)
+	if err != nil {
+		t.Fatalf("impersonation should succeed (that's the finding): %v", err)
+	}
+	if string(info.AppData) != "intercepted!" {
+		t.Fatal("no application data")
+	}
+}
+
+func TestKeySecretDeterministicAndDistinct(t *testing.T) {
+	if KeySecret(1) != KeySecret(1) {
+		t.Fatal("not deterministic")
+	}
+	if KeySecret(1) == KeySecret(2) {
+		t.Fatal("collision")
+	}
+}

@@ -1,0 +1,73 @@
+package worldsim
+
+import (
+	"container/heap"
+
+	"stalecert/internal/simtime"
+	"stalecert/internal/x509sim"
+)
+
+// eventKind enumerates scheduled simulation events.
+type eventKind uint8
+
+const (
+	evDomainExpiry eventKind = iota // registrant decides renew-or-lapse
+	evReRegister                    // released domain re-registered by new owner
+	evRenewAuto                     // automated certificate renewal attempt
+	evRenewManual                   // manual certificate renewal decision
+	evCDNDepart                     // customer migrates off the CDN
+	evCDNRenew                      // CDN-managed certificate renewal sweep
+	evCompromise                    // key compromise discovered and reported
+	evOtherRevoke                   // non-compromise revocation
+)
+
+// event is one scheduled occurrence. seq breaks ties deterministically.
+type event struct {
+	day    simtime.Day
+	seq    uint64
+	kind   eventKind
+	domain string
+	cert   *x509sim.Certificate
+}
+
+// eventHeap is a min-heap on (day, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].day != h[j].day {
+		return h[i].day < h[j].day
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+// Push implements heap.Interface.
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+// Pop implements heap.Interface.
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// schedule enqueues an event.
+func (w *World) schedule(day simtime.Day, kind eventKind, domain string, cert *x509sim.Certificate) {
+	if day > w.S.End {
+		return // beyond the simulation horizon
+	}
+	w.seq++
+	heap.Push(&w.events, &event{day: day, seq: w.seq, kind: kind, domain: domain, cert: cert})
+}
+
+// popDue pops the next event due on or before day, nil when none.
+func (w *World) popDue(day simtime.Day) *event {
+	if len(w.events) == 0 || w.events[0].day > day {
+		return nil
+	}
+	return heap.Pop(&w.events).(*event)
+}

@@ -1,0 +1,17 @@
+package worldsim
+
+import (
+	"testing"
+)
+
+func TestFullScaleTiming(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	w := NewWorld(Default())
+	w.Run()
+	certs, stats := w.Logs.Dedup()
+	t.Logf("domains=%d certs=%d rawCT=%d revocations=%d whoisDomains=%d rereg=%d adnsDays=%d departures=%d",
+		w.DomainCount(), len(certs), stats.RawEntries, len(w.RevocationEntries()),
+		w.Whois.Domains(), len(w.Whois.ReRegistrations()), len(w.ADNS.Days()), len(w.ADNS.Departures()))
+}

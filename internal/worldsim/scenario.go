@@ -1,0 +1,202 @@
+// Package worldsim is the synthetic internet: a seeded discrete-event
+// simulation of domain registrations, HTTPS adoption, CA issuance, CDN
+// enrolment and departure, key compromise, and revocation, driving every
+// substrate (registry, WHOIS, DNS, CT, CRL) so the paper's measurement
+// pipelines can run end to end at laptop scale.
+//
+// Calibration follows the paper's observed dynamics: Let's Encrypt's
+// introduction multiplies HTTPS adoption; Cloudflare packs customers into
+// COMODO cruise-liner certificates until mid-2019 and then switches to its
+// own per-domain CA; GoDaddy's November 2021 breach mass-revokes for key
+// compromise; Let's Encrypt only begins publishing keyCompromise reasons in
+// July 2022; browser policy caps lifetimes at 825 days from 2018 and 398
+// days from September 2020.
+package worldsim
+
+import (
+	"math"
+
+	"stalecert/internal/simtime"
+)
+
+// Landmark days used across the scenario.
+var (
+	// DefaultStart matches the paper's CT range start.
+	DefaultStart = simtime.MustParse("2013-03-01")
+	// DefaultEnd matches the paper's CT collection end.
+	DefaultEnd = simtime.MustParse("2023-05-12")
+	// LetsEncryptLaunch is when automated free issuance arrives.
+	LetsEncryptLaunch = simtime.MustParse("2015-12-01")
+	// CloudflarePerDomainFrom is when cruise-liners give way to per-domain
+	// certificates (mid-2019, §5.2).
+	CloudflarePerDomainFrom = simtime.MustParse("2019-06-01")
+	// GoDaddyBreachStart/End bound the November 2021 mass key-compromise
+	// revocations (Figure 4).
+	GoDaddyBreachStart = simtime.MustParse("2021-11-17")
+	GoDaddyBreachEnd   = simtime.MustParse("2021-12-20")
+	// WHOISWindow bounds the bulk WHOIS dataset (Table 3).
+	WHOISWindowStart = simtime.MustParse("2016-01-01")
+	WHOISWindowEnd   = simtime.MustParse("2021-07-08")
+	// ADNSWindow bounds the daily active-DNS scans (Table 3).
+	ADNSWindowStart = simtime.MustParse("2022-08-01")
+	ADNSWindowEnd   = simtime.MustParse("2022-10-30")
+	// CRLWindow bounds daily CRL collection (Table 3).
+	CRLWindowStart = simtime.MustParse("2022-11-01")
+	CRLWindowEnd   = simtime.MustParse("2023-05-05")
+)
+
+// Scenario parameterises a simulation run. The zero value is not useful;
+// start from Default() and tweak.
+type Scenario struct {
+	Seed  int64
+	Start simtime.Day
+	End   simtime.Day
+
+	// BaseDailyRegistrations is the expected new registrations per day at
+	// Start; AnnualRegistrationGrowth compounds it per year.
+	BaseDailyRegistrations   float64
+	AnnualRegistrationGrowth float64
+
+	// HTTPSBase is pre-Let's-Encrypt adoption probability for a new domain;
+	// HTTPSPeak is the asymptote approached after automation arrives.
+	HTTPSBase float64
+	HTTPSPeak float64
+
+	// CDNBase/CDNPeak bound the fraction of HTTPS domains choosing managed
+	// TLS via the CDN (growing over time, §7.1); PlatformShare is the
+	// cPanel-style hosting share.
+	CDNBase       float64
+	CDNPeak       float64
+	PlatformShare float64
+
+	// DomainRenewProb is the chance a registrant renews at expiry.
+	DomainRenewProb float64
+	// ReRegistrationProb is the chance a released domain is re-registered
+	// by a new owner; DropCatchProb is the sub-probability that the
+	// re-registration happens immediately at release (drop-catch services).
+	ReRegistrationProb float64
+	DropCatchProb      float64
+	// ReRegistrationMaxDelay bounds the non-drop-catch re-registration
+	// delay after release, in days.
+	ReRegistrationMaxDelay int
+
+	// CertManualRenewProb is the chance a manually-managed certificate is
+	// renewed at expiry (automated CAs always renew while the domain is
+	// held and validation reuse allows).
+	CertManualRenewProb float64
+	// RenewBeforeDays is the automation renewal window before expiry.
+	RenewBeforeDays int
+
+	// CompromiseProbLong/Short are per-certificate key-compromise
+	// probabilities for long-lived (>180d) and short-lived certificates;
+	// compromise is discovered CompromiseMeanDelay days (exponential,
+	// capped at CompromiseMaxDelay) after issuance.
+	CompromiseProbLong  float64
+	CompromiseProbShort float64
+	CompromiseMeanDelay float64
+	CompromiseMaxDelay  int
+	// OtherRevocationProb is the chance a certificate is revoked for a
+	// non-compromise reason (superseded, cessation, ...) at a uniform point
+	// of its life.
+	OtherRevocationProb float64
+
+	// GoDaddyBreach enables the November 2021 mass revocation; BreachShare
+	// is the fraction of then-valid GoDaddy certificates revoked.
+	GoDaddyBreach bool
+	BreachShare   float64
+
+	// CDNAnnualChurn is the fraction of CDN customers departing per year.
+	CDNAnnualChurn float64
+
+	// CruiseBoatSize caps customers per cruise-liner certificate.
+	CruiseBoatSize int
+
+	// Collection windows (zero spans disable a collection).
+	WHOISWindow simtime.Span
+	ADNSWindow  simtime.Span
+	CRLWindow   simtime.Span
+}
+
+// Default returns the full-scale default scenario.
+func Default() Scenario {
+	return Scenario{
+		Seed:                     1,
+		Start:                    DefaultStart,
+		End:                      DefaultEnd,
+		BaseDailyRegistrations:   8,
+		AnnualRegistrationGrowth: 1.13,
+		HTTPSBase:                0.15,
+		HTTPSPeak:                0.90,
+		CDNBase:                  0.06,
+		CDNPeak:                  0.32,
+		PlatformShare:            0.12,
+		DomainRenewProb:          0.65,
+		ReRegistrationProb:       0.60,
+		DropCatchProb:            0.45,
+		ReRegistrationMaxDelay:   300,
+		CertManualRenewProb:      0.80,
+		RenewBeforeDays:          30,
+		CompromiseProbLong:       0.003,
+		CompromiseProbShort:      0.0006,
+		CompromiseMeanDelay:      18,
+		CompromiseMaxDelay:       600,
+		OtherRevocationProb:      0.06,
+		GoDaddyBreach:            true,
+		BreachShare:              0.50,
+		CDNAnnualChurn:           0.22,
+		CruiseBoatSize:           30,
+		WHOISWindow:              simtime.Span{Start: WHOISWindowStart, End: WHOISWindowEnd + 1},
+		ADNSWindow:               simtime.Span{Start: ADNSWindowStart, End: ADNSWindowEnd + 1},
+		CRLWindow:                simtime.Span{Start: CRLWindowStart, End: CRLWindowEnd + 1},
+	}
+}
+
+// Quick returns a small scenario for tests and benchmarks: same dynamics,
+// fewer domains.
+func Quick() Scenario {
+	s := Default()
+	s.BaseDailyRegistrations = 1.2
+	s.AnnualRegistrationGrowth = 1.10
+	return s
+}
+
+// yearsSince returns fractional years between two days.
+func yearsSince(from, to simtime.Day) float64 {
+	return float64(to-from) / 365.25
+}
+
+// registrationRate is the expected new registrations on a day.
+func (s Scenario) registrationRate(day simtime.Day) float64 {
+	rate := s.BaseDailyRegistrations
+	growth := s.AnnualRegistrationGrowth
+	if growth <= 0 {
+		growth = 1
+	}
+	return rate * math.Pow(growth, yearsSince(s.Start, day))
+}
+
+// httpsProb is the chance a domain registered on day deploys HTTPS.
+func (s Scenario) httpsProb(day simtime.Day) float64 {
+	if day < LetsEncryptLaunch {
+		return s.HTTPSBase
+	}
+	// Logistic ramp reaching ~peak by 2020.
+	t := yearsSince(LetsEncryptLaunch, day)
+	frac := t / 4.0
+	if frac > 1 {
+		frac = 1
+	}
+	return s.HTTPSBase + (s.HTTPSPeak-s.HTTPSBase)*frac
+}
+
+// cdnProb is the chance an HTTPS domain uses the CDN at day.
+func (s Scenario) cdnProb(day simtime.Day) float64 {
+	t := yearsSince(s.Start, day) / 9.0
+	if t > 1 {
+		t = 1
+	}
+	if t < 0 {
+		t = 0
+	}
+	return s.CDNBase + (s.CDNPeak-s.CDNBase)*t
+}

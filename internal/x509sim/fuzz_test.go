@@ -1,0 +1,58 @@
+package x509sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestUnmarshalNeverPanicsOnRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		buf := make([]byte, rng.Intn(150))
+		rng.Read(buf)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %x: %v", buf, r)
+				}
+			}()
+			_, _ = Unmarshal(buf)
+		}()
+	}
+}
+
+func TestUnmarshalNeverPanicsOnMutations(t *testing.T) {
+	c, err := New(42, 7, 99, []string{"example.com", "*.example.com", "www.example.com"}, 10, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := c.Marshal()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20000; i++ {
+		buf := append([]byte(nil), valid...)
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			buf[rng.Intn(len(buf))] ^= byte(1 + rng.Intn(255))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %x: %v", buf, r)
+				}
+			}()
+			if got, err := Unmarshal(buf); err == nil {
+				_ = got.Marshal()
+				_ = got.Fingerprint()
+			}
+		}()
+	}
+}
+
+func TestUnmarshalTruncationsAllFail(t *testing.T) {
+	c, _ := New(1, 1, 1, []string{"a.com"}, 0, 1)
+	valid := c.Marshal()
+	for cut := 0; cut < len(valid); cut++ {
+		if _, err := Unmarshal(valid[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
