@@ -5,21 +5,26 @@
 // Usage:
 //
 //	crld [-addr :8785] [-seed-revocations N] [-fail-rate 0.02] [-now 2023-01-01]
+//	     [-debug-addr 127.0.0.1:0] [-log-format text|json]
 //
 // The server hosts the reproduction's built-in CA directory; each CA is
 // seeded with synthetic revocations across the standard reason codes.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"fmt"
-	"log"
 	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"stalecert/internal/ca"
 	"stalecert/internal/crl"
+	"stalecert/internal/obs"
 	"stalecert/internal/simtime"
 	"stalecert/internal/x509sim"
 )
@@ -30,11 +35,15 @@ func main() {
 	failRate := flag.Float64("fail-rate", 0.02, "per-request scrape-protection failure probability")
 	now := flag.String("now", "2023-01-01", "simulated current day (CRL thisUpdate)")
 	seed := flag.Int64("seed", 1, "randomness seed")
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+
+	logger, stopDebug := obsFlags.Setup("crld")
 
 	nowDay, err := simtime.Parse(*now)
 	if err != nil {
-		log.Fatalf("bad -now: %v", err)
+		logger.Error("bad -now", "err", err)
+		os.Exit(2)
 	}
 
 	srv := crl.NewServer(*seed)
@@ -55,9 +64,29 @@ func main() {
 		srv.Host(a, *failRate)
 	}
 
-	fmt.Fprintf(os.Stderr, "crld: serving %d CAs on %s (fail-rate %.2f)\n", len(srv.Names()), *addr, *failRate)
+	logger.Info("serving CRLs", "cas", len(srv.Names()), "addr", *addr, "fail_rate", *failRate)
 	for _, n := range srv.Names() {
-		fmt.Fprintf(os.Stderr, "  /crl/%s\n", n)
+		logger.Debug("hosting", "path", "/crl/"+n)
 	}
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("server failed", "err", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		logger.Info("shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			logger.Error("shutdown", "err", err)
+		}
+		_ = stopDebug(sctx)
+	}
 }

@@ -13,13 +13,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"os"
 	"sort"
 	"strings"
 	"time"
 
 	"stalecert/internal/ca"
 	"stalecert/internal/crl"
+	"stalecert/internal/obs"
 )
 
 func main() {
@@ -28,7 +29,15 @@ func main() {
 	days := flag.Int("days", 1, "number of daily collection rounds")
 	retries := flag.Int("retries", 2, "extra attempts per CRL per day")
 	timeout := flag.Duration("timeout", 30*time.Second, "overall timeout")
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+
+	logger, stopDebug := obsFlags.Setup("crlfetch")
+	defer func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		_ = stopDebug(sctx)
+	}()
 
 	var names []string
 	if *cas != "" {
@@ -50,7 +59,8 @@ func main() {
 	for day := 0; day < *days; day++ {
 		lists, err := fetcher.FetchAll(ctx, names)
 		if err != nil {
-			log.Fatalf("crlfetch: %v", err)
+			logger.Error("fetch round failed", "day", day, "err", err)
+			os.Exit(1)
 		}
 		total = 0
 		for _, l := range lists {

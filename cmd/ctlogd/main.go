@@ -5,19 +5,25 @@
 // Usage:
 //
 //	ctlogd [-addr :8784] [-name mylog] [-shard-start 2022-01-01 -shard-end 2023-01-01] [-seed-entries N]
+//	       [-debug-addr 127.0.0.1:0] [-log-format text|json]
 //
 // With -seed-entries the log is pre-populated with synthetic certificates so
 // ctscan has something to fetch.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"stalecert/internal/ctlog"
+	"stalecert/internal/obs"
 	"stalecert/internal/simtime"
 	"stalecert/internal/x509sim"
 )
@@ -29,23 +35,29 @@ func main() {
 	shardEnd := flag.String("shard-end", "", "shard end date (YYYY-MM-DD, exclusive)")
 	seedEntries := flag.Int("seed-entries", 0, "pre-populate with N synthetic certificates")
 	now := flag.String("now", "2023-01-01", "simulated current day for SCT timestamps")
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+
+	logger, stopDebug := obsFlags.Setup("ctlogd")
 
 	var shard ctlog.Shard
 	if *shardStart != "" || *shardEnd != "" {
 		s, err := simtime.Parse(*shardStart)
 		if err != nil {
-			log.Fatalf("bad -shard-start: %v", err)
+			logger.Error("bad -shard-start", "err", err)
+			os.Exit(2)
 		}
 		e, err := simtime.Parse(*shardEnd)
 		if err != nil {
-			log.Fatalf("bad -shard-end: %v", err)
+			logger.Error("bad -shard-end", "err", err)
+			os.Exit(2)
 		}
 		shard = ctlog.Shard{Start: s, End: e}
 	}
 	nowDay, err := simtime.Parse(*now)
 	if err != nil {
-		log.Fatalf("bad -now: %v", err)
+		logger.Error("bad -now", "err", err)
+		os.Exit(2)
 	}
 
 	l := ctlog.New(*name, shard)
@@ -59,15 +71,37 @@ func main() {
 			nowDay-30, nowDay+60,
 		)
 		if err != nil {
-			log.Fatalf("seed cert: %v", err)
+			logger.Error("seed cert", "err", err)
+			os.Exit(1)
 		}
 		if _, err := l.AddChain(cert, nowDay-simtime.Day(i%30)); err != nil {
-			log.Fatalf("seed add-chain: %v", err)
+			logger.Error("seed add-chain", "err", err)
+			os.Exit(1)
 		}
 	}
 
 	sth := l.STH()
-	fmt.Fprintf(os.Stderr, "ctlogd: serving log %q (shard %s, size %d) on %s\n",
-		l.Name(), l.Shard(), sth.Size, *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	logger.Info("serving CT log", "name", l.Name(), "shard", l.Shard().String(),
+		"size", sth.Size, "addr", *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("server failed", "err", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		logger.Info("shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			logger.Error("shutdown", "err", err)
+		}
+		_ = stopDebug(sctx)
+	}
 }

@@ -11,12 +11,12 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"time"
 
 	"stalecert/internal/core"
 	"stalecert/internal/ctlog"
+	"stalecert/internal/obs"
 	"stalecert/internal/x509sim"
 )
 
@@ -27,7 +27,15 @@ func main() {
 	print := flag.Bool("print", false, "print each entry")
 	save := flag.String("save", "", "save scraped certificates to a corpus file")
 	timeout := flag.Duration("timeout", 30*time.Second, "overall scrape timeout")
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+
+	logger, stopDebug := obsFlags.Setup("ctscan")
+	defer func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		_ = stopDebug(sctx)
+	}()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
@@ -35,11 +43,12 @@ func main() {
 	client := ctlog.NewClient(*logURL, nil)
 	entries, sth, err := client.Scrape(ctx, ctlog.ScrapeOptions{From: *from, VerifyInclusion: *verify})
 	if err != nil {
-		log.Fatalf("ctscan: %v", err)
+		logger.Error("scrape failed", "log", *logURL, "err", err)
+		os.Exit(1)
 	}
 
-	fmt.Fprintf(os.Stderr, "ctscan: log %q size=%d root=%s scraped=%d verified=%v\n",
-		sth.LogName, sth.Size, sth.Root, len(entries), *verify)
+	logger.Info("scraped log", "name", sth.LogName, "size", sth.Size,
+		"root", sth.Root.String(), "scraped", len(entries), "verified", *verify)
 	if *print {
 		for _, e := range entries {
 			fmt.Printf("%8d  %s  %v\n", e.Index, e.Timestamp, e.Cert.Names)
@@ -60,7 +69,8 @@ func main() {
 	if *save != "" {
 		f, err := os.Create(*save)
 		if err != nil {
-			log.Fatalf("ctscan: %v", err)
+			logger.Error("create corpus file", "path", *save, "err", err)
+			os.Exit(1)
 		}
 		defer f.Close()
 		certs := make([]*x509sim.Certificate, len(entries))
@@ -68,8 +78,9 @@ func main() {
 			certs[i] = e.Cert
 		}
 		if err := core.WriteCerts(f, certs); err != nil {
-			log.Fatalf("ctscan: save: %v", err)
+			logger.Error("save corpus", "path", *save, "err", err)
+			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "ctscan: wrote %d certificates to %s\n", len(certs), *save)
+		logger.Info("wrote corpus", "certs", len(certs), "path", *save)
 	}
 }

@@ -13,14 +13,16 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"stalecert/internal/dnsname"
 	"stalecert/internal/dnssim"
+	"stalecert/internal/obs"
 )
 
 func main() {
@@ -32,20 +34,28 @@ func main() {
 	scan := flag.Bool("scan", false, "scan domains against a server")
 	server := flag.String("server", "127.0.0.1:5353", "DNS server address for -scan")
 	domains := flag.String("domains", "", "comma-separated domain list for -scan")
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+
+	logger, stopDebug := obsFlags.Setup("dnsscand")
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = stopDebug(ctx)
+	}()
 
 	switch {
 	case *serve:
-		runServe(*zonefile, *apex, *addr)
+		runServe(logger, *zonefile, *apex, *addr)
 	case *scan:
-		runScan(*server, *domains)
+		runScan(logger, *server, *domains)
 	default:
 		fmt.Fprintln(os.Stderr, "dnsscand: pass -serve or -scan")
 		os.Exit(2)
 	}
 }
 
-func runServe(zonefile, apex, addr string) {
+func runServe(logger *slog.Logger, zonefile, apex, addr string) {
 	var zone *dnssim.Zone
 	if zonefile == "" {
 		// Demo zone with one self-hosted and one CDN-delegated domain.
@@ -57,17 +67,20 @@ func runServe(zonefile, apex, addr string) {
 			{Name: "www.cdn." + apex, Type: dnssim.TypeCNAME, TTL: 300, Data: "cdn-" + apex + ".cdn.cloudflare.com"},
 		} {
 			if err := zone.Add(r); err != nil {
-				log.Fatalf("demo zone: %v", err)
+				logger.Error("demo zone", "err", err)
+				os.Exit(1)
 			}
 		}
 	} else {
 		text, err := os.ReadFile(zonefile)
 		if err != nil {
-			log.Fatalf("read zone file: %v", err)
+			logger.Error("read zone file", "err", err)
+			os.Exit(1)
 		}
 		zone, err = dnssim.ParseZoneFile(apex, string(text))
 		if err != nil {
-			log.Fatalf("parse zone file: %v", err)
+			logger.Error("parse zone file", "err", err)
+			os.Exit(1)
 		}
 	}
 
@@ -76,19 +89,22 @@ func runServe(zonefile, apex, addr string) {
 	srv := dnssim.NewServer(store)
 	bound, err := srv.Start(addr)
 	if err != nil {
-		log.Fatalf("start: %v", err)
+		logger.Error("listen failed", "addr", addr, "err", err)
+		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "dnsscand: serving zone %q (%d records) on %s\n", zone.Apex, zone.Len(), bound)
+	logger.Info("serving zone", "apex", zone.Apex, "records", zone.Len(), "addr", bound.String())
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	logger.Info("shutting down")
 	_ = srv.Close()
 }
 
-func runScan(server, domainList string) {
+func runScan(logger *slog.Logger, server, domainList string) {
 	if domainList == "" {
-		log.Fatal("dnsscand: -scan requires -domains")
+		logger.Error("-scan requires -domains")
+		os.Exit(2)
 	}
 	var list []string
 	for _, d := range strings.Split(domainList, ",") {
@@ -102,7 +118,8 @@ func runScan(server, domainList string) {
 
 	snap, err := ws.Scan(ctx, 0, list)
 	if err != nil {
-		log.Fatalf("scan: %v", err)
+		logger.Error("scan failed", "err", err)
+		os.Exit(1)
 	}
 
 	isCF := func(rec dnssim.Record) bool {

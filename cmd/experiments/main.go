@@ -15,13 +15,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"stalecert"
 	"stalecert/internal/core"
+	"stalecert/internal/obs"
 	"stalecert/internal/simtime"
 )
 
@@ -32,19 +35,32 @@ func main() {
 	all := flag.Bool("all", false, "print every table and figure")
 	headline := flag.Bool("headline", false, "print the headline 90-day-cap estimate")
 	csv := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	stages := flag.Bool("stages", false, "print the per-stage timing tree to stderr")
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+
+	logger, stopDebug := obsFlags.Setup("experiments")
+	defer func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		_ = stopDebug(sctx)
+	}()
 
 	s, err := scenarioFor(*scale)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		logger.Error("bad scenario", "err", err)
 		os.Exit(2)
 	}
 	s.Seed = *seed
 
-	fmt.Fprintf(os.Stderr, "simulating %s..%s (scale=%s seed=%d)...\n", s.Start, s.End, *scale, *seed)
+	logger.Info("simulating", "start", s.Start.String(), "end", s.End.String(), "scale", *scale, "seed", *seed)
 	r := stalecert.Run(s)
-	fmt.Fprintf(os.Stderr, "corpus: %d certificates; detections: all=%d kc=%d reg=%d managed=%d\n",
-		r.Corpus.Len(), len(r.RevokedAll), len(r.KeyComp), len(r.RegChange), len(r.Managed))
+	logger.Info("pipeline complete", "corpus", r.Corpus.Len(),
+		"revoked_all", len(r.RevokedAll), "key_compromise", len(r.KeyComp),
+		"registrant_change", len(r.RegChange), "managed_tls", len(r.Managed))
+	if *stages {
+		fmt.Fprint(os.Stderr, r.Trace.Render())
+	}
 
 	switch {
 	case *headline:

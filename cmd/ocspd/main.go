@@ -6,18 +6,23 @@
 // Usage:
 //
 //	ocspd [-addr 127.0.0.1:8786] [-seed-revocations N] [-now 2023-01-01]
+//	      [-debug-addr 127.0.0.1:0] [-log-format text|json]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"fmt"
-	"log"
 	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"stalecert/internal/ca"
 	"stalecert/internal/crl"
+	"stalecert/internal/obs"
 	"stalecert/internal/revcheck"
 	"stalecert/internal/simtime"
 	"stalecert/internal/x509sim"
@@ -28,11 +33,15 @@ func main() {
 	seedRevocations := flag.Int("seed-revocations", 100, "synthetic revocations per CA")
 	now := flag.String("now", "2023-01-01", "simulated current day (producedAt)")
 	seed := flag.Int64("seed", 1, "randomness seed")
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+
+	logger, stopDebug := obsFlags.Setup("ocspd")
 
 	nowDay, err := simtime.Parse(*now)
 	if err != nil {
-		log.Fatalf("ocspd: bad -now: %v", err)
+		logger.Error("bad -now", "err", err)
+		os.Exit(2)
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -49,6 +58,26 @@ func main() {
 
 	responder := &revcheck.OCSPResponder{Authorities: auths}
 	responder.SetNow(nowDay)
-	fmt.Fprintf(os.Stderr, "ocspd: serving %d CAs on %s (POST /ocsp)\n", len(auths), *addr)
-	log.Fatal(http.ListenAndServe(*addr, responder.Handler()))
+	logger.Info("serving OCSP", "cas", len(auths), "addr", *addr, "endpoint", "POST /ocsp")
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	httpSrv := &http.Server{Addr: *addr, Handler: responder.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("server failed", "err", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		logger.Info("shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			logger.Error("shutdown", "err", err)
+		}
+		_ = stopDebug(sctx)
+	}
 }

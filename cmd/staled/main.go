@@ -4,22 +4,26 @@
 //
 // Usage:
 //
-//	staled [-scale quick|test|full] [-seed N] [-json]
+//	staled [-scale quick|test|full] [-seed N] [-json] [-debug-addr 127.0.0.1:0]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"stalecert"
 	"stalecert/internal/core"
+	"stalecert/internal/obs"
 	"stalecert/internal/simtime"
 )
 
 type jsonReport struct {
 	Domains      int                `json:"domains"`
+	Stages       obs.StageJSON      `json:"stages"`
 	Certificates int                `json:"certificates"`
 	Detections   map[string]int     `json:"detections"`
 	DailyE2LDs   map[string]float64 `json:"daily_e2lds"`
@@ -33,7 +37,15 @@ func main() {
 	scale := flag.String("scale", "test", "simulation scale: quick, test, or full")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	asJSON := flag.Bool("json", false, "emit a JSON report")
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+
+	logger, stopDebug := obsFlags.Setup("staled")
+	defer func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		_ = stopDebug(sctx)
+	}()
 
 	s := stalecert.DefaultScenario()
 	switch *scale {
@@ -46,7 +58,7 @@ func main() {
 		s.AnnualRegistrationGrowth = 1.12
 	case "full":
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		logger.Error("unknown scale", "scale", *scale)
 		os.Exit(2)
 	}
 	s.Seed = *seed
@@ -59,6 +71,7 @@ func main() {
 	if *asJSON {
 		rep := jsonReport{
 			Domains:      r.World.DomainCount(),
+			Stages:       r.Trace.JSON(),
 			Certificates: r.Corpus.Len(),
 			Detections:   map[string]int{},
 			DailyE2LDs:   map[string]float64{},
@@ -83,7 +96,7 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			logger.Error("encode report", "err", err)
 			os.Exit(1)
 		}
 		return
@@ -97,4 +110,7 @@ func main() {
 	fmt.Printf("became stale after 90d of issuance: registrant=%.1f%% managed=%.1f%% keyCompromise=%.1f%%\n",
 		100*at90[core.MethodRegistrantChange], 100*at90[core.MethodManagedTLS], 100*at90[core.MethodKeyCompromise])
 	fmt.Printf("90-day cap: overall staleness-day reduction %.1f%%\n", h.OverallDayReductionPct)
+	fmt.Println()
+	fmt.Println("pipeline stages:")
+	fmt.Print(r.Trace.Render())
 }

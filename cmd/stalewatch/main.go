@@ -17,7 +17,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"stalecert/internal/ca"
@@ -26,6 +28,7 @@ import (
 	"stalecert/internal/dnsname"
 	"stalecert/internal/dnssim"
 	"stalecert/internal/monitor"
+	"stalecert/internal/obs"
 	"stalecert/internal/revcheck"
 	"stalecert/internal/simtime"
 	"stalecert/internal/x509sim"
@@ -41,11 +44,19 @@ func main() {
 	once := flag.Bool("once", false, "poll once and exit")
 	now := flag.String("now", "2023-01-01", "evaluation day")
 	marker := flag.String("marker", "cloudflaressl.com", "managed-TLS marker SAN suffix")
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+
+	logger, stopDebug := obsFlags.Setup("stalewatch")
+	defer func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		_ = stopDebug(sctx)
+	}()
 
 	nowDay, err := simtime.Parse(*now)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "stalewatch: bad -now: %v\n", err)
+		logger.Error("bad -now", "err", err)
 		os.Exit(2)
 	}
 
@@ -73,16 +84,17 @@ func main() {
 		ev.Revocation = crlBackedChecker(*crlURL)
 	}
 
-	ctx := context.Background()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	for {
 		hits, err := watcher.Poll(ctx)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "stalewatch: poll: %v\n", err)
+			logger.Error("poll failed", "err", err)
 		}
 		for _, hit := range hits {
 			alerts, err := ev.Evaluate(ctx, hit)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "stalewatch: evaluate %v: %v\n", hit.Domains, err)
+				logger.Error("evaluate failed", "domains", hit.Domains, "err", err)
 				continue
 			}
 			for _, a := range alerts {
@@ -96,7 +108,12 @@ func main() {
 		if *once {
 			return
 		}
-		time.Sleep(*interval)
+		select {
+		case <-ctx.Done():
+			logger.Info("shutting down")
+			return
+		case <-time.After(*interval):
+		}
 	}
 }
 

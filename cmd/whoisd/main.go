@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	whoisd [-addr 127.0.0.1:4343] [-seed-domains N]
+//	whoisd [-addr 127.0.0.1:4343] [-seed-domains N] [-debug-addr 127.0.0.1:0]
 //	whoisd -query example000001.com [-server 127.0.0.1:4343]
 package main
 
@@ -11,11 +11,12 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
+	"stalecert/internal/obs"
 	"stalecert/internal/registry"
 	"stalecert/internal/simtime"
 	"stalecert/internal/whois"
@@ -26,14 +27,18 @@ func main() {
 	seedDomains := flag.Int("seed-domains", 100, "synthetic registrations to seed")
 	query := flag.String("query", "", "query a domain against -server instead of serving")
 	server := flag.String("server", "127.0.0.1:4343", "server address for -query")
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+
+	logger, stopDebug := obsFlags.Setup("whoisd")
 
 	if *query != "" {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		rec, err := whois.Query(ctx, *server, *query)
 		if err != nil {
-			log.Fatalf("whoisd: %v", err)
+			logger.Error("query failed", "domain", *query, "err", err)
+			os.Exit(1)
 		}
 		fmt.Print(rec.Format())
 		return
@@ -45,7 +50,8 @@ func main() {
 		name := fmt.Sprintf("example%06d.com", i+1)
 		if _, err := reg.Register(name, fmt.Sprintf("registrant-%d", i+1), "GoDaddy",
 			base+simtime.Day(i%365), 1); err != nil {
-			log.Fatalf("seed: %v", err)
+			logger.Error("seed registration failed", "domain", name, "err", err)
+			os.Exit(1)
 		}
 	}
 	reg.Tick(base + 400)
@@ -53,12 +59,17 @@ func main() {
 	srv := whois.NewServer(&whois.RegistrySource{Registry: reg})
 	bound, err := srv.Start(*addr)
 	if err != nil {
-		log.Fatalf("whoisd: %v", err)
+		logger.Error("listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "whoisd: serving %d domains on %s\n", *seedDomains, bound)
+	logger.Info("serving WHOIS", "domains", *seedDomains, "addr", bound.String())
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	logger.Info("shutting down")
 	_ = srv.Close()
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = stopDebug(sctx)
 }

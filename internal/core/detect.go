@@ -5,10 +5,25 @@ import (
 
 	"stalecert/internal/crl"
 	"stalecert/internal/dnssim"
+	"stalecert/internal/obs"
 	"stalecert/internal/simtime"
 	"stalecert/internal/whois"
 	"stalecert/internal/x509sim"
 )
+
+// Detector metrics, labelled by method slug: candidates examined, outliers
+// filtered (with the filter reason), and stale certificates emitted.
+func detectExamined(m Method) *obs.Counter {
+	return obs.Default().Counter("detect_candidates_examined_total", "method", m.slug())
+}
+
+func detectFiltered(m Method, reason string) *obs.Counter {
+	return obs.Default().Counter("detect_outliers_filtered_total", "method", m.slug(), "reason", reason)
+}
+
+func detectEmitted(m Method) *obs.Counter {
+	return obs.Default().Counter("detect_stale_emitted_total", "method", m.slug())
+}
 
 // Method is a stale-certificate detection pipeline (the rows of Table 4).
 type Method uint8
@@ -34,6 +49,21 @@ func (m Method) String() string {
 		return "Managed TLS departure"
 	}
 	return "method?"
+}
+
+// slug is the metric-label form of the method name.
+func (m Method) slug() string {
+	switch m {
+	case MethodRevocation:
+		return "revocation"
+	case MethodKeyCompromise:
+		return "key_compromise"
+	case MethodRegistrantChange:
+		return "registrant_change"
+	case MethodManagedTLS:
+		return "managed_tls"
+	}
+	return "unknown"
 }
 
 // StaleCert is one detected stale certificate: a valid certificate whose
@@ -86,25 +116,37 @@ type RevocationStats struct {
 // use SplitKeyCompromise).
 func DetectRevoked(corpus *Corpus, entries []crl.Entry, cutoff simtime.Day) ([]StaleCert, RevocationStats) {
 	stats := RevocationStats{TotalRevocations: len(entries)}
+	examined := detectExamined(MethodRevocation)
+	fNotInCT := detectFiltered(MethodRevocation, "not_in_ct")
+	fBeforeValid := detectFiltered(MethodRevocation, "revoked_before_valid")
+	fAfterExpiry := detectFiltered(MethodRevocation, "revoked_after_expiry")
+	fBeforeCutoff := detectFiltered(MethodRevocation, "before_cutoff")
+	emitted := detectEmitted(MethodRevocation)
 	var out []StaleCert
 	for _, e := range entries {
+		examined.Inc()
 		cert, ok := corpus.ByKey(e.Key())
 		if !ok {
+			fNotInCT.Inc()
 			continue // not in CT: cannot analyse (paper: cross-reference with CT)
 		}
 		stats.MatchedInCT++
 		switch {
 		case e.RevokedAt < cert.NotBefore:
 			stats.RevokedBeforeValid++
+			fBeforeValid.Inc()
 			continue
 		case e.RevokedAt > cert.NotAfter:
 			stats.RevokedAfterExpiry++
+			fAfterExpiry.Inc()
 			continue
 		case cutoff != simtime.NoDay && e.RevokedAt < cutoff:
 			stats.BeforeCutoff++
+			fBeforeCutoff.Inc()
 			continue
 		}
 		stats.Kept++
+		emitted.Inc()
 		out = append(out, StaleCert{
 			Cert:     cert,
 			Method:   MethodRevocation,
@@ -119,11 +161,15 @@ func DetectRevoked(corpus *Corpus, entries []crl.Entry, cutoff simtime.Day) ([]S
 // SplitKeyCompromise extracts the key-compromise subset of revocation-stale
 // certificates, relabelled under MethodKeyCompromise.
 func SplitKeyCompromise(revoked []StaleCert) []StaleCert {
+	examined := detectExamined(MethodKeyCompromise)
+	emitted := detectEmitted(MethodKeyCompromise)
 	var out []StaleCert
 	for _, s := range revoked {
+		examined.Inc()
 		if s.Reason == crl.KeyCompromise {
 			s.Method = MethodKeyCompromise
 			out = append(out, s)
+			emitted.Inc()
 		}
 	}
 	return out
@@ -133,16 +179,23 @@ func SplitKeyCompromise(revoked []StaleCert) []StaleCert {
 // re-registration: notBefore < registryCreationDate < notAfter (§4.2). The
 // prior registrant keeps the keys while the new registrant owns the domain.
 func DetectRegistrantChange(corpus *Corpus, events []whois.ReRegistration) []StaleCert {
+	examined := detectExamined(MethodRegistrantChange)
+	fOutside := detectFiltered(MethodRegistrantChange, "outside_validity")
+	emitted := detectEmitted(MethodRegistrantChange)
 	var out []StaleCert
 	for _, ev := range events {
 		for _, cert := range corpus.ByE2LD(ev.Domain) {
+			examined.Inc()
 			if cert.NotBefore < ev.NewCreation && ev.NewCreation < cert.NotAfter {
+				emitted.Inc()
 				out = append(out, StaleCert{
 					Cert:     cert,
 					Method:   MethodRegistrantChange,
 					EventDay: ev.NewCreation,
 					Domain:   ev.Domain,
 				})
+			} else {
+				fOutside.Inc()
 			}
 		}
 	}
@@ -158,19 +211,28 @@ type ManagedCertPred func(*x509sim.Certificate) bool
 // still valid when their customer domain's delegation to the provider
 // disappears between consecutive daily scans (§4.3).
 func DetectManagedTLSDeparture(corpus *Corpus, departures []dnssim.Departure, isManaged ManagedCertPred) []StaleCert {
+	examined := detectExamined(MethodManagedTLS)
+	fNotManaged := detectFiltered(MethodManagedTLS, "not_managed")
+	fNotValid := detectFiltered(MethodManagedTLS, "not_valid")
+	emitted := detectEmitted(MethodManagedTLS)
 	var out []StaleCert
 	for _, dep := range departures {
 		for _, cert := range corpus.ByE2LD(dep.Domain) {
+			examined.Inc()
 			if !isManaged(cert) {
+				fNotManaged.Inc()
 				continue
 			}
 			if cert.ValidOn(dep.FirstGone) {
+				emitted.Inc()
 				out = append(out, StaleCert{
 					Cert:     cert,
 					Method:   MethodManagedTLS,
 					EventDay: dep.FirstGone,
 					Domain:   dep.Domain,
 				})
+			} else {
+				fNotValid.Inc()
 			}
 		}
 	}

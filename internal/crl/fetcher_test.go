@@ -1,0 +1,101 @@
+package crl
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"stalecert/internal/x509sim"
+)
+
+// TestLedgerDistinguishesExhaustedFromNeverAttempted is the regression test
+// for the coverage-ledger fix: a CA whose retries all fail must appear in the
+// ledger as attempted-and-exhausted, while CAs the run never reached (the
+// context was already cancelled) must leave no row at all. Previously a
+// cancellation mid-retry dropped the in-flight CA from the ledger, making
+// "retries exhausted" indistinguishable from "never attempted".
+func TestLedgerDistinguishesExhaustedFromNeverAttempted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Every request for CA "alpha" is blocked; cancel the run while its
+		// retries are in flight so "beta" is never attempted.
+		if calls.Add(1) == 2 {
+			cancel()
+		}
+		http.Error(w, "automated access denied", http.StatusForbidden)
+	}))
+	defer srv.Close()
+
+	ledger := NewCoverageLedger()
+	f := &Fetcher{Base: srv.URL, Ledger: ledger, Retries: 3}
+	_, err := f.FetchAll(ctx, []string{"alpha", "beta"})
+	if err == nil {
+		t.Fatal("expected context cancellation error")
+	}
+
+	rows := ledger.Rows()
+	if len(rows) != 1 {
+		t.Fatalf("ledger rows = %d (%v), want exactly 1: the in-flight CA", len(rows), rows)
+	}
+	got := rows[0]
+	if got.CAName != "alpha" {
+		t.Errorf("ledger row CA = %q, want alpha", got.CAName)
+	}
+	if got.Attempted != 1 || got.Succeeded != 0 || got.Canceled != 1 {
+		t.Errorf("alpha coverage = %+v, want Attempted=1 Succeeded=0 Canceled=1", got)
+	}
+	// beta must NOT be in the ledger: it was never attempted.
+	for _, r := range rows {
+		if r.CAName == "beta" {
+			t.Error("never-attempted CA beta must not appear in the ledger")
+		}
+	}
+}
+
+// TestLedgerRecordsRetryExhausted checks the uncancelled failure path: all
+// retries fail, the CA is recorded as exhausted, and the fetch moves on.
+func TestLedgerRecordsRetryExhausted(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/crl/good" {
+			a := NewAuthority("good")
+			a.Revoke(1, x509sim.SerialNumber(1), 10, KeyCompromise)
+			w.Header().Set("Content-Type", "application/pkix-crl")
+			_, _ = w.Write(a.Snapshot(20).Marshal())
+			return
+		}
+		http.Error(w, "automated access denied", http.StatusForbidden)
+	}))
+	defer srv.Close()
+
+	ledger := NewCoverageLedger()
+	f := &Fetcher{Base: srv.URL, Ledger: ledger, Retries: 2}
+	lists, err := f.FetchAll(context.Background(), []string{"blocked", "good"})
+	if err != nil {
+		t.Fatalf("FetchAll: %v", err)
+	}
+	if len(lists) != 1 || lists["good"] == nil {
+		t.Fatalf("lists = %v, want only good", lists)
+	}
+
+	rows := ledger.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("ledger rows = %d, want 2", len(rows))
+	}
+	byName := map[string]Coverage{}
+	for _, r := range rows {
+		byName[r.CAName] = r
+	}
+	if c := byName["blocked"]; c.Attempted != 1 || c.Exhausted != 1 || c.Canceled != 0 {
+		t.Errorf("blocked coverage = %+v, want Attempted=1 Exhausted=1", c)
+	}
+	if c := byName["good"]; c.Attempted != 1 || c.Succeeded != 1 {
+		t.Errorf("good coverage = %+v, want Attempted=1 Succeeded=1", c)
+	}
+	total := ledger.Total()
+	if total.Attempted != 2 || total.Succeeded != 1 || total.Exhausted != 1 {
+		t.Errorf("total = %+v", total)
+	}
+}

@@ -10,8 +10,23 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"stalecert/internal/obs"
 	"stalecert/internal/simtime"
 )
+
+// Distribution-point and fetcher metrics. Fetch outcomes are labelled per CA
+// so scrape-protection hot spots (Appendix B) show up directly in /metrics.
+var (
+	mServeOK      = obs.Default().Counter("crl_server_requests_total", "outcome", "ok")
+	mServeBlocked = obs.Default().Counter("crl_server_requests_total", "outcome", "blocked")
+	mServeUnknown = obs.Default().Counter("crl_server_requests_total", "outcome", "unknown_ca")
+	mFetchRetries = obs.Default().Counter("crl_fetch_retries_total")
+	mFetchBytes   = obs.Default().Histogram("crl_fetch_bytes", obs.SizeBuckets)
+)
+
+func fetchOutcomeCounter(ca string, outcome Outcome) *obs.Counter {
+	return obs.Default().Counter("crl_fetch_total", "ca", ca, "outcome", outcome.String())
+}
 
 // Server serves the CRLs of many authorities over HTTP, the way CA
 // distribution points do. Some production CRL endpoints sit behind
@@ -70,6 +85,7 @@ func (s *Server) Handler() http.Handler {
 		fail := s.failRate[name]
 		s.mu.RUnlock()
 		if !ok {
+			mServeUnknown.Inc()
 			http.Error(w, "unknown CA", http.StatusNotFound)
 			return
 		}
@@ -79,15 +95,42 @@ func (s *Server) Handler() http.Handler {
 			s.rngMu.Unlock()
 			if blocked {
 				// Simulated anti-scraping response.
+				mServeBlocked.Inc()
 				http.Error(w, "automated access denied", http.StatusForbidden)
 				return
 			}
 		}
+		mServeOK.Inc()
 		list := a.Snapshot(simtime.Day(s.now.Load()))
 		w.Header().Set("Content-Type", "application/pkix-crl")
 		_, _ = w.Write(list.Marshal())
 	})
 	return mux
+}
+
+// Outcome classifies one daily fetch of one CA's CRL.
+type Outcome uint8
+
+// Fetch outcomes. A CA that never appears in the ledger was never attempted
+// at all — distinct from OutcomeRetryExhausted (every attempt failed) and
+// OutcomeCanceled (the collection run was cut off mid-retry).
+const (
+	OutcomeOK Outcome = iota
+	OutcomeRetryExhausted
+	OutcomeCanceled
+)
+
+// String names the outcome for metric labels and reports.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeRetryExhausted:
+		return "retry_exhausted"
+	case OutcomeCanceled:
+		return "canceled"
+	}
+	return "outcome?"
 }
 
 // CoverageLedger accumulates per-CA fetch outcomes across daily collection
@@ -97,11 +140,18 @@ type CoverageLedger struct {
 	by map[string]*Coverage
 }
 
-// Coverage is one CA's fetch record.
+// Coverage is one CA's fetch record. Attempted = Succeeded + Exhausted +
+// Canceled; CAs never attempted have no Coverage row at all.
 type Coverage struct {
 	CAName    string
 	Attempted int
 	Succeeded int
+	// Exhausted counts collections where every attempt (including retries)
+	// failed; Canceled counts collections cut off by context cancellation
+	// mid-retry. Both are distinct from "never attempted", which leaves no
+	// trace in the ledger.
+	Exhausted int
+	Canceled  int
 }
 
 // Percent returns the success percentage (100% when nothing was attempted).
@@ -117,8 +167,17 @@ func NewCoverageLedger() *CoverageLedger {
 	return &CoverageLedger{by: make(map[string]*Coverage)}
 }
 
-// Record adds one fetch outcome.
+// Record adds one fetch outcome (success or retries-exhausted failure).
 func (l *CoverageLedger) Record(ca string, ok bool) {
+	if ok {
+		l.RecordOutcome(ca, OutcomeOK)
+	} else {
+		l.RecordOutcome(ca, OutcomeRetryExhausted)
+	}
+}
+
+// RecordOutcome adds one classified fetch outcome.
+func (l *CoverageLedger) RecordOutcome(ca string, o Outcome) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	c := l.by[ca]
@@ -127,8 +186,13 @@ func (l *CoverageLedger) Record(ca string, ok bool) {
 		l.by[ca] = c
 	}
 	c.Attempted++
-	if ok {
+	switch o {
+	case OutcomeOK:
 		c.Succeeded++
+	case OutcomeRetryExhausted:
+		c.Exhausted++
+	case OutcomeCanceled:
+		c.Canceled++
 	}
 }
 
@@ -159,6 +223,8 @@ func (l *CoverageLedger) Total() Coverage {
 	for _, c := range l.by {
 		t.Attempted += c.Attempted
 		t.Succeeded += c.Succeeded
+		t.Exhausted += c.Exhausted
+		t.Canceled += c.Canceled
 	}
 	return t
 }
@@ -185,9 +251,18 @@ func (f *Fetcher) FetchAll(ctx context.Context, names []string) (map[string]*Lis
 	}
 	out := make(map[string]*List, len(names))
 	for _, name := range names {
+		if ctx.Err() != nil {
+			// CAs we never reached stay out of the ledger entirely: "never
+			// attempted" must stay distinguishable from "retries exhausted".
+			return out, ctx.Err()
+		}
 		var list *List
 		var lastErr error
+		canceled := false
 		for attempt := 0; attempt <= retries; attempt++ {
+			if attempt > 0 {
+				mFetchRetries.Inc()
+			}
 			l, err := f.fetchOne(ctx, hc, name)
 			if err == nil {
 				list = l
@@ -195,16 +270,29 @@ func (f *Fetcher) FetchAll(ctx context.Context, names []string) (map[string]*Lis
 			}
 			lastErr = err
 			if ctx.Err() != nil {
-				return out, ctx.Err()
+				canceled = true
+				break
 			}
 		}
-		if f.Ledger != nil {
-			f.Ledger.Record(name, list != nil)
+		outcome := OutcomeOK
+		switch {
+		case list != nil:
+		case canceled:
+			outcome = OutcomeCanceled
+		default:
+			outcome = OutcomeRetryExhausted
 		}
+		if f.Ledger != nil {
+			f.Ledger.RecordOutcome(name, outcome)
+		}
+		fetchOutcomeCounter(name, outcome).Inc()
 		if list != nil {
 			out[name] = list
 		} else {
 			_ = lastErr // coverage ledger carries the failure; partial results are the contract
+		}
+		if canceled {
+			return out, ctx.Err()
 		}
 	}
 	return out, nil
@@ -227,5 +315,6 @@ func (f *Fetcher) fetchOne(ctx context.Context, hc *http.Client, name string) (*
 	if err != nil {
 		return nil, err
 	}
+	mFetchBytes.Observe(float64(len(raw)))
 	return Unmarshal(raw)
 }

@@ -10,10 +10,22 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"time"
 
 	"stalecert/internal/merkle"
+	"stalecert/internal/obs"
 	"stalecert/internal/simtime"
 	"stalecert/internal/x509sim"
+)
+
+// Scraper-side metrics: entries pulled, lag behind the log's tree head at
+// poll start, and full-scrape latency.
+var (
+	mScrapeEntries = obs.Default().Counter("ctlog_scrape_entries_total")
+	mScrapeRounds  = obs.Default().Counter("ctlog_scrape_rounds_total")
+	mScrapeLag     = obs.Default().Gauge("ctlog_scrape_lag_entries")
+	mScrapeSTHSize = obs.Default().Gauge("ctlog_scrape_sth_tree_size")
+	mScrapeSecs    = obs.Default().Histogram("ctlog_scrape_seconds", nil)
 )
 
 // Client talks to a CT log server over HTTP. The zero value is not usable;
@@ -187,9 +199,16 @@ type ScrapeOptions struct {
 // the STH's self-consistency (and optionally every entry's inclusion).
 // It returns the entries and the STH they were verified against.
 func (c *Client) Scrape(ctx context.Context, opts ScrapeOptions) ([]Entry, SignedTreeHead, error) {
+	began := time.Now()
 	sth, err := c.GetSTH(ctx)
 	if err != nil {
 		return nil, SignedTreeHead{}, err
+	}
+	mScrapeSTHSize.Set(float64(sth.Size))
+	if sth.Size > opts.From {
+		mScrapeLag.Set(float64(sth.Size - opts.From))
+	} else {
+		mScrapeLag.Set(0)
 	}
 	batch := opts.BatchSize
 	if batch == 0 {
@@ -228,5 +247,9 @@ func (c *Client) Scrape(ctx context.Context, opts ScrapeOptions) ([]Entry, Signe
 		entries = append(entries, got...)
 		start += uint64(len(got))
 	}
+	mScrapeRounds.Inc()
+	mScrapeEntries.Add(uint64(len(entries)))
+	mScrapeLag.Set(0) // caught up to the head we verified against
+	mScrapeSecs.Observe(time.Since(began).Seconds())
 	return entries, sth, nil
 }

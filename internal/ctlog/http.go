@@ -11,8 +11,22 @@ import (
 	"sync/atomic"
 
 	"stalecert/internal/merkle"
+	"stalecert/internal/obs"
 	"stalecert/internal/simtime"
 	"stalecert/internal/x509sim"
+)
+
+// Server-side metrics: request counts per endpoint, entries paged out, and
+// add-chain outcomes.
+var (
+	mEntriesServed = obs.Default().Counter("ctlog_entries_served_total")
+	mReqAddChain   = obs.Default().Counter("ctlog_requests_total", "endpoint", "add-chain")
+	mReqGetSTH     = obs.Default().Counter("ctlog_requests_total", "endpoint", "get-sth")
+	mReqGetEntries = obs.Default().Counter("ctlog_requests_total", "endpoint", "get-entries")
+	mReqProof      = obs.Default().Counter("ctlog_requests_total", "endpoint", "get-proof-by-hash")
+	mReqConsist    = obs.Default().Counter("ctlog_requests_total", "endpoint", "get-sth-consistency")
+	mAddChainOK    = obs.Default().Counter("ctlog_addchain_total", "outcome", "ok")
+	mAddChainErr   = obs.Default().Counter("ctlog_addchain_total", "outcome", "error")
 )
 
 // Wire representations mirror RFC 6962's JSON bodies.
@@ -97,6 +111,7 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 }
 
 func (s *Server) handleAddChain(w http.ResponseWriter, r *http.Request) {
+	mReqAddChain.Inc()
 	var req addChainRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
@@ -118,6 +133,7 @@ func (s *Server) handleAddChain(w http.ResponseWriter, r *http.Request) {
 	}
 	sct, err := s.log.AddChain(cert, simtime.Day(s.now.Load()))
 	if err != nil {
+		mAddChainErr.Inc()
 		status := http.StatusBadRequest
 		if errors.Is(err, ErrFrozen) {
 			status = http.StatusForbidden
@@ -125,6 +141,7 @@ func (s *Server) handleAddChain(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, status, err)
 		return
 	}
+	mAddChainOK.Inc()
 	writeJSON(w, http.StatusOK, addChainResponse{
 		LogName:   sct.LogName,
 		Index:     sct.Index,
@@ -134,6 +151,7 @@ func (s *Server) handleAddChain(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGetSTH(w http.ResponseWriter, _ *http.Request) {
+	mReqGetSTH.Inc()
 	sth := s.log.STH()
 	writeJSON(w, http.StatusOK, getSTHResponse{
 		LogName:   sth.LogName,
@@ -145,6 +163,7 @@ func (s *Server) handleGetSTH(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleGetEntries(w http.ResponseWriter, r *http.Request) {
+	mReqGetEntries.Inc()
 	start, err1 := strconv.ParseUint(r.URL.Query().Get("start"), 10, 64)
 	end, err2 := strconv.ParseUint(r.URL.Query().Get("end"), 10, 64)
 	if err1 != nil || err2 != nil {
@@ -159,6 +178,7 @@ func (s *Server) handleGetEntries(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	mEntriesServed.Add(uint64(len(entries)))
 	resp := getEntriesResponse{Entries: make([]entryJSON, len(entries))}
 	for i, e := range entries {
 		resp.Entries[i] = entryJSON{LeafInput: base64.StdEncoding.EncodeToString(e.LeafData())}
@@ -167,6 +187,7 @@ func (s *Server) handleGetEntries(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleProofByHash(w http.ResponseWriter, r *http.Request) {
+	mReqProof.Inc()
 	rawHash, err := base64.StdEncoding.DecodeString(r.URL.Query().Get("hash"))
 	if err != nil || len(rawHash) != 32 {
 		writeErr(w, http.StatusBadRequest, errors.New("hash must be base64 of 32 bytes"))
@@ -192,6 +213,7 @@ func (s *Server) handleProofByHash(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleConsistency(w http.ResponseWriter, r *http.Request) {
+	mReqConsist.Inc()
 	first, err1 := strconv.ParseUint(r.URL.Query().Get("first"), 10, 64)
 	second, err2 := strconv.ParseUint(r.URL.Query().Get("second"), 10, 64)
 	if err1 != nil || err2 != nil {

@@ -8,7 +8,18 @@ import (
 	"sync"
 
 	"stalecert/internal/dnsname"
+	"stalecert/internal/obs"
 )
+
+// UDP server metrics, labelled by response code.
+var (
+	mQueriesMalformed = obs.Default().Counter("dns_queries_total", "rcode", "malformed")
+	mRespTruncated    = obs.Default().Counter("dns_responses_truncated_total")
+)
+
+func queryCounter(rcode RCode) *obs.Counter {
+	return obs.Default().Counter("dns_queries_total", "rcode", rcode.String())
+}
 
 // Store holds the authoritative zones a server answers from. It is safe for
 // concurrent use: the world simulator mutates delegations while the scanner
@@ -203,6 +214,7 @@ func (s *Server) loop(conn net.PacketConn) {
 func (s *Server) handle(raw []byte) []byte {
 	req, err := Unmarshal(raw)
 	if err != nil || req.Response || len(req.Questions) != 1 {
+		mQueriesMalformed.Inc()
 		// Malformed or not a simple query: answer FORMERR when we can echo
 		// an ID, otherwise drop.
 		if err != nil && len(raw) >= 2 {
@@ -233,6 +245,7 @@ func (s *Server) handle(raw []byte) []byte {
 		resp.RCode = rcode
 		resp.Authoritative = auth
 	}
+	queryCounter(resp.RCode).Inc()
 	out, err := resp.Marshal()
 	if err != nil {
 		resp = &Message{Header: Header{ID: req.ID, Response: true, RCode: RCodeServFail}, Questions: []Question{q}}
@@ -241,6 +254,7 @@ func (s *Server) handle(raw []byte) []byte {
 	}
 	if len(out) > MaxUDPPayload {
 		// Truncate: drop answers and set TC, as RFC 1035 servers do.
+		mRespTruncated.Inc()
 		resp.Answers = nil
 		resp.Truncated = true
 		out, _ = resp.Marshal()

@@ -7,7 +7,15 @@ import (
 	"sort"
 	"sync"
 
+	"stalecert/internal/obs"
 	"stalecert/internal/simtime"
+)
+
+// Daily-differ metrics: how much work each snapshot diff does and what it
+// finds (the managed-TLS departure signal).
+var (
+	mDiffDomains    = obs.Default().Counter("dns_snapshot_domains_diffed_total")
+	mDiffDepartures = obs.Default().Counter("dns_departures_found_total")
 )
 
 // Snapshot is one day's scan results: per-domain resource records for the
@@ -141,6 +149,8 @@ type Departure struct {
 // scan are skipped (can't distinguish departure from scan failure).
 func FindDepartures(prev, next *Snapshot, pred func(Record) bool) []Departure {
 	var out []Departure
+	mDiffDomains.Add(uint64(len(prev.byDomain)))
+	defer func() { mDiffDepartures.Add(uint64(len(out))) }()
 	for domain := range prev.byDomain {
 		if !prev.Matches(domain, pred) {
 			continue

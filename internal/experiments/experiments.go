@@ -10,6 +10,7 @@ import (
 
 	"stalecert/internal/cdn"
 	"stalecert/internal/core"
+	"stalecert/internal/obs"
 	"stalecert/internal/popularity"
 	"stalecert/internal/reputation"
 	"stalecert/internal/simtime"
@@ -35,24 +36,50 @@ type Results struct {
 	RevWindow     simtime.Span
 	RegWindow     simtime.Span
 	ManagedWindow simtime.Span
+
+	// Trace is the per-stage timing tree for the run (world build, corpus
+	// indexing, and the three detectors). cmd/staled emits it in -json output.
+	Trace *obs.Trace
+}
+
+// newPipelineTrace creates a trace whose day ranges render as calendar dates.
+func newPipelineTrace() *obs.Trace {
+	tr := obs.NewTrace("pipeline")
+	tr.FormatDay = func(d int) string { return simtime.Day(d).String() }
+	return tr
 }
 
 // Run executes the world simulation and all three detection pipelines.
 func Run(s worldsim.Scenario) *Results {
+	tr := newPipelineTrace()
+	sp := tr.StartSpan("world_build")
+	sp.SetDays(int(s.Start), int(s.End))
 	w := worldsim.NewWorld(s)
 	w.Run()
-	return Detect(w)
+	sp.End()
+	return detect(w, tr)
 }
 
 // Detect runs the measurement pipelines over an already-simulated world.
 func Detect(w *worldsim.World) *Results {
-	r := &Results{World: w}
+	return detect(w, newPipelineTrace())
+}
 
+func detect(w *worldsim.World, tr *obs.Trace) *Results {
+	r := &Results{World: w, Trace: tr}
+
+	sp := tr.StartSpan("ct_dedup")
 	certs, dstats := w.Logs.Dedup()
 	r.CTDedupStats.Raw = dstats.RawEntries
 	r.CTDedupStats.Unique = dstats.Unique
 	r.CTDedupStats.PrecertMerged = dstats.PrecertMerged
+	sp.AddItems(int(dstats.RawEntries))
+	sp.End()
+
+	sp = tr.StartSpan("corpus_index")
 	r.Corpus = core.NewCorpus(certs, core.CorpusOptions{PSL: w.PSL})
+	sp.AddItems(len(certs))
+	sp.End()
 
 	// Pipeline 1: revocations joined against CT with the §4.1 filters.
 	cutoff := core.RevocationFilterCutoff
@@ -61,22 +88,35 @@ func Detect(w *worldsim.World) *Results {
 		// months before the collection window, as the paper did.
 		cutoff = w.S.CRLWindow.Start - 396
 	}
+	sp = tr.StartSpan("detect_revoked")
 	r.RevokedAll, r.RevStats = core.DetectRevoked(r.Corpus, w.RevocationEntries(), cutoff)
 	r.KeyComp = core.SplitKeyCompromise(r.RevokedAll)
 	r.RevWindow = simtime.Span{Start: cutoff, End: w.S.CRLWindow.End}
+	sp.AddItems(len(r.RevokedAll))
+	sp.SetDays(int(r.RevWindow.Start), int(r.RevWindow.End))
+	sp.End()
 
 	// Pipeline 2: registrant change from the WHOIS archive.
+	sp = tr.StartSpan("detect_registrant_change")
 	rereg := w.Whois.ReRegistrations()
 	r.RegChange = core.DetectRegistrantChange(r.Corpus, rereg)
 	r.RegWindow = regWindow(r.RegChange, w.S.WHOISWindow)
+	sp.AddItems(len(r.RegChange))
+	sp.SetDays(int(r.RegWindow.Start), int(r.RegWindow.End))
+	sp.End()
 
 	// Pipeline 3: managed TLS departure from daily aDNS diffs.
+	sp = tr.StartSpan("detect_managed_tls")
 	isManaged := func(c *x509sim.Certificate) bool {
 		return cdn.HasMarkerSAN(c, "cloudflaressl.com")
 	}
 	r.Managed = core.DetectManagedTLSDeparture(r.Corpus, w.ADNS.Departures(), isManaged)
 	r.ManagedWindow = w.S.ADNSWindow
+	sp.AddItems(len(r.Managed))
+	sp.SetDays(int(r.ManagedWindow.Start), int(r.ManagedWindow.End))
+	sp.End()
 
+	tr.End()
 	return r
 }
 

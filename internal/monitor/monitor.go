@@ -26,12 +26,26 @@ import (
 	"stalecert/internal/dnsname"
 	"stalecert/internal/dnssim"
 	"stalecert/internal/merkle"
+	"stalecert/internal/obs"
 	"stalecert/internal/psl"
 	"stalecert/internal/revcheck"
 	"stalecert/internal/simtime"
 	"stalecert/internal/whois"
 	"stalecert/internal/x509sim"
 )
+
+// Watcher and evaluator metrics: poll cadence, entries tailed, hits on
+// watched domains, and alerts raised per kind.
+var (
+	mPolls       = obs.Default().Counter("monitor_polls_total")
+	mPollErrors  = obs.Default().Counter("monitor_poll_errors_total")
+	mPollEntries = obs.Default().Counter("monitor_entries_total")
+	mPollHits    = obs.Default().Counter("monitor_hits_total")
+)
+
+func alertCounter(k AlertKind) *obs.Counter {
+	return obs.Default().Counter("monitor_alerts_total", "kind", k.String())
+}
 
 // Hit is a CT entry naming a watched domain.
 type Hit struct {
@@ -78,8 +92,10 @@ var ErrLogInconsistent = errors.New("monitor: CT log tree heads inconsistent")
 // watched domains. The new STH is checked for append-only consistency with
 // the previous poll's head.
 func (w *CTWatcher) Poll(ctx context.Context) ([]Hit, error) {
+	mPolls.Inc()
 	entries, sth, err := w.Client.Scrape(ctx, ctlog.ScrapeOptions{From: w.next})
 	if err != nil {
+		mPollErrors.Inc()
 		return nil, err
 	}
 	if w.haveSTH && sth.Size >= w.lastSTH.Size {
@@ -95,6 +111,7 @@ func (w *CTWatcher) Poll(ctx context.Context) ([]Hit, error) {
 	}
 	w.lastSTH = sth
 	w.haveSTH = true
+	mPollEntries.Add(uint64(len(entries)))
 	var hits []Hit
 	for _, e := range entries {
 		if e.Index >= w.next {
@@ -104,6 +121,7 @@ func (w *CTWatcher) Poll(ctx context.Context) ([]Hit, error) {
 			hits = append(hits, Hit{Entry: e, Domains: domains})
 		}
 	}
+	mPollHits.Add(uint64(len(hits)))
 	return hits, nil
 }
 
@@ -177,6 +195,11 @@ type Evaluator struct {
 // Evaluate runs every enabled check for one hit.
 func (ev *Evaluator) Evaluate(ctx context.Context, hit Hit) ([]Alert, error) {
 	var alerts []Alert
+	defer func() {
+		for _, a := range alerts {
+			alertCounter(a.Kind).Inc()
+		}
+	}()
 	cert := hit.Entry.Cert
 	if !cert.ValidOn(ev.Now) {
 		return nil, nil // expired: no longer a threat

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// Handler serves the debug surface for a registry:
+//
+//	/metrics      Prometheus text exposition format
+//	/debug/vars   expvar-compatible JSON (standard vars + every metric)
+//	/debug/pprof  the net/http/pprof profiles
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteProm(w, r)
+	})
+	mux.HandleFunc("GET /debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		writeVars(w, r)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// WriteProm writes the registry snapshot in Prometheus text format.
+func WriteProm(w io.Writer, r *Registry) {
+	samples := r.Snapshot()
+	lastFamily := ""
+	for _, s := range samples {
+		if s.Name != lastFamily {
+			fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind)
+			lastFamily = s.Name
+		}
+		switch s.Kind {
+		case KindCounter, KindGauge:
+			fmt.Fprintf(w, "%s%s %s\n", s.Name, s.Labels, formatFloat(s.Value))
+		case KindHistogram:
+			for _, b := range s.Buckets {
+				fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, withLE(s.Labels, b.UpperBound), b.Count)
+			}
+			fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, s.Labels, formatFloat(s.Sum))
+			fmt.Fprintf(w, "%s_count%s %d\n", s.Name, s.Labels, s.Count)
+		}
+	}
+}
+
+// withLE splices the le label into an existing label set.
+func withLE(labels string, bound float64) string {
+	le := `le="` + formatLE(bound) + `"`
+	if labels == "" {
+		return "{" + le + "}"
+	}
+	return labels[:len(labels)-1] + "," + le + "}"
+}
+
+func formatLE(bound float64) string {
+	if math.IsInf(bound, 1) {
+		return "+Inf"
+	}
+	return formatFloat(bound)
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeVars emits expvar-compatible JSON: the process's published expvars
+// (cmdline, memstats, ...) followed by every registry metric keyed by its
+// full name.
+func writeVars(w io.Writer, r *Registry) {
+	fmt.Fprintf(w, "{\n")
+	first := true
+	expvar.Do(func(kv expvar.KeyValue) {
+		if !first {
+			fmt.Fprintf(w, ",\n")
+		}
+		first = false
+		fmt.Fprintf(w, "%q: %s", kv.Key, kv.Value)
+	})
+	for _, s := range r.Snapshot() {
+		if !first {
+			fmt.Fprintf(w, ",\n")
+		}
+		first = false
+		key, _ := json.Marshal(s.FullName())
+		switch s.Kind {
+		case KindCounter, KindGauge:
+			fmt.Fprintf(w, "%s: %s", key, formatFloat(s.Value))
+		case KindHistogram:
+			fmt.Fprintf(w, "%s: {\"count\": %d, \"sum\": %s}", key, s.Count, formatFloat(s.Sum))
+		}
+	}
+	fmt.Fprintf(w, "\n}\n")
+}
+
+// StartDebug serves Handler(r) on addr in the background, returning the
+// bound address and a graceful-shutdown func. Pass "127.0.0.1:0" for an
+// ephemeral port.
+func StartDebug(addr string, r *Registry) (string, func(context.Context) error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: debug listen: %w", err)
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Shutdown, nil
+}

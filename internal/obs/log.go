@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"context"
+	"flag"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// SetupLogger builds a slog logger writing to stderr in the given format
+// ("text" or "json") at the given level ("debug", "info", "warn", "error"),
+// installs it as the slog default, and returns it. Unknown values fall back
+// to text/info.
+func SetupLogger(format, level string) *slog.Logger {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		lv = slog.LevelInfo
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	if strings.ToLower(format) == "json" {
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, opts)
+	}
+	l := slog.New(h)
+	slog.SetDefault(l)
+	return l
+}
+
+// Flags carries the standard observability flag values every cmd/ binary
+// accepts. Bind with BindFlags before flag.Parse, then call Setup.
+type Flags struct {
+	DebugAddr string
+	LogFormat string
+	LogLevel  string
+}
+
+// BindFlags registers -debug-addr, -log-format and -log-level on fs.
+func BindFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.DebugAddr, "debug-addr", "",
+		"serve /metrics, /debug/vars and /debug/pprof on this address (empty disables)")
+	fs.StringVar(&f.LogFormat, "log-format", "text", "log output format: text or json")
+	fs.StringVar(&f.LogLevel, "log-level", "info", "log level: debug, info, warn or error")
+	return f
+}
+
+// Setup installs the configured logger (tagged with the component name) and,
+// when -debug-addr is set, starts the debug endpoint server on the Default
+// registry. The returned stop func gracefully shuts the debug server down
+// (no-op when disabled).
+func (f *Flags) Setup(component string) (*slog.Logger, func(context.Context) error) {
+	logger := SetupLogger(f.LogFormat, f.LogLevel).With("component", component)
+	stop := func(context.Context) error { return nil }
+	if f.DebugAddr != "" {
+		bound, shutdown, err := StartDebug(f.DebugAddr, Default())
+		if err != nil {
+			logger.Error("debug server failed to start", "addr", f.DebugAddr, "err", err)
+		} else {
+			logger.Info("debug endpoints up", "addr", bound,
+				"endpoints", "/metrics /debug/vars /debug/pprof")
+			stop = shutdown
+		}
+	}
+	return logger, stop
+}

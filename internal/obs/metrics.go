@@ -1,0 +1,357 @@
+// Package obs is the stdlib-only observability layer shared by every daemon
+// and pipeline stage: a lock-cheap metrics registry (counters, gauges,
+// log-bucketed histograms with labels), a nesting stage tracer, Prometheus /
+// expvar / pprof HTTP exposition, and slog setup. Instrumented packages use
+// the process-wide Default registry; tests can construct private registries.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind discriminates metric types.
+type Kind uint8
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String names the kind in Prometheus TYPE syntax.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically increasing count. All methods are safe for
+// concurrent use and allocation-free.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous float value.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(floatBits(v)) }
+
+// Add adjusts the value by delta (CAS loop; lock-free).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := floatBits(floatFrom(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return floatFrom(g.bits.Load()) }
+
+// Histogram accumulates observations into fixed buckets with upper bounds
+// Bounds (plus an implicit +Inf overflow bucket). Safe for concurrent use.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose upper bound contains v (v <= bound).
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.bounds) && h.bounds[i] < v {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := floatBits(floatFrom(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() float64 { return floatFrom(h.sumBits.Load()) }
+
+// Bounds returns the bucket upper bounds (excluding +Inf).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// ExpBuckets returns n log-scaled bucket upper bounds starting at start and
+// growing by factor: start, start*factor, start*factor^2, ...
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DurationBuckets covers 1µs through ~72min in ×4 steps — the default for
+// latency histograms (observe seconds).
+var DurationBuckets = ExpBuckets(1e-6, 4, 16)
+
+// SizeBuckets covers 1B through ~1GiB in ×4 steps — the default for payload
+// sizes (observe bytes).
+var SizeBuckets = ExpBuckets(1, 4, 16)
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+func floatFrom(b uint64) float64 { return math.Float64frombits(b) }
+
+var inf = math.Inf(1)
+
+// metric is one registered time series: a family name plus a rendered label
+// set, holding exactly one of the three instrument types.
+type metric struct {
+	family string
+	labels string // `{k="v",...}` or ""
+	kind   Kind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry is a set of named metrics. Lookup takes a short RLock; updates on
+// the returned instruments are pure atomics. The zero value is not usable;
+// construct with NewRegistry (or use Default).
+type Registry struct {
+	mu       sync.RWMutex
+	metrics  map[string]*metric
+	families map[string]Kind
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		metrics:  make(map[string]*metric),
+		families: make(map[string]Kind),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry every instrumented package uses.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns (registering on first use) the counter with the given
+// family name and label pairs ("key", "value", ...).
+func (r *Registry) Counter(name string, labelPairs ...string) *Counter {
+	m := r.lookup(name, KindCounter, nil, labelPairs)
+	return m.c
+}
+
+// Gauge returns the gauge with the given name and label pairs.
+func (r *Registry) Gauge(name string, labelPairs ...string) *Gauge {
+	m := r.lookup(name, KindGauge, nil, labelPairs)
+	return m.g
+}
+
+// Histogram returns the histogram with the given name, bucket upper bounds
+// (nil for DurationBuckets) and label pairs. Bounds are fixed at first
+// registration.
+func (r *Registry) Histogram(name string, bounds []float64, labelPairs ...string) *Histogram {
+	if bounds == nil {
+		bounds = DurationBuckets
+	}
+	m := r.lookup(name, KindHistogram, bounds, labelPairs)
+	return m.h
+}
+
+func (r *Registry) lookup(family string, kind Kind, bounds []float64, labelPairs []string) *metric {
+	labels := formatLabels(labelPairs)
+	key := family + labels
+
+	r.mu.RLock()
+	m, ok := r.metrics[key]
+	r.mu.RUnlock()
+	if ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", key, kind, m.kind))
+		}
+		return m
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[key]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", key, kind, m.kind))
+		}
+		return m
+	}
+	if k, ok := r.families[family]; ok && k != kind {
+		panic(fmt.Sprintf("obs: family %q holds %v metrics, requested %v", family, k, kind))
+	}
+	m = &metric{family: family, labels: labels, kind: kind}
+	switch kind {
+	case KindCounter:
+		m.c = &Counter{}
+	case KindGauge:
+		m.g = &Gauge{}
+	case KindHistogram:
+		h := &Histogram{bounds: bounds}
+		h.counts = make([]atomic.Uint64, len(bounds)+1)
+		m.h = h
+	}
+	r.metrics[key] = m
+	r.families[family] = kind
+	return m
+}
+
+// formatLabels renders label pairs as a deterministic Prometheus label set.
+func formatLabels(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	if len(pairs)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label pairs %q", pairs))
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		kvs = append(kvs, kv{pairs[i], pairs[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range kvs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// BucketCount is one histogram bucket in a snapshot: the cumulative count of
+// observations at or below UpperBound.
+type BucketCount struct {
+	UpperBound float64
+	Count      uint64 // cumulative
+}
+
+// Sample is one metric's state in a snapshot.
+type Sample struct {
+	Name   string // family name
+	Labels string // rendered label set ("" or `{k="v"}`)
+	Kind   Kind
+
+	// Counter / gauge value.
+	Value float64
+
+	// Histogram state; Buckets are cumulative and end with the +Inf bucket
+	// (UpperBound = +Inf, Count = Count field).
+	Count   uint64
+	Sum     float64
+	Buckets []BucketCount
+}
+
+// FullName returns the family with its label set appended.
+func (s Sample) FullName() string { return s.Name + s.Labels }
+
+// Snapshot returns a deterministic (sorted by family then labels) view of
+// every registered metric.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.RLock()
+	ms := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		ms = append(ms, m)
+	}
+	r.mu.RUnlock()
+
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].family != ms[j].family {
+			return ms[i].family < ms[j].family
+		}
+		return ms[i].labels < ms[j].labels
+	})
+
+	out := make([]Sample, 0, len(ms))
+	for _, m := range ms {
+		s := Sample{Name: m.family, Labels: m.labels, Kind: m.kind}
+		switch m.kind {
+		case KindCounter:
+			s.Value = float64(m.c.Value())
+		case KindGauge:
+			s.Value = m.g.Value()
+		case KindHistogram:
+			s.Count = m.h.Count()
+			s.Sum = m.h.Sum()
+			var cum uint64
+			s.Buckets = make([]BucketCount, 0, len(m.h.bounds)+1)
+			for i, b := range m.h.bounds {
+				cum += m.h.counts[i].Load()
+				s.Buckets = append(s.Buckets, BucketCount{UpperBound: b, Count: cum})
+			}
+			cum += m.h.counts[len(m.h.bounds)].Load()
+			s.Buckets = append(s.Buckets, BucketCount{UpperBound: inf, Count: cum})
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Reset drops every registered metric. Intended for tests that assert on the
+// Default registry.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics = make(map[string]*metric)
+	r.families = make(map[string]Kind)
+}

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total")
+	const goroutines, perG = 8, 10_000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Mix cached-handle increments with registry lookups to exercise
+			// the RLock fast path concurrently.
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				r.Counter("test_total").Inc()
+				r.Counter("labeled_total", "worker", "a").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Value(), uint64(2*goroutines*perG); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got, want := r.Counter("labeled_total", "worker", "a").Value(), uint64(goroutines*perG); got != want {
+		t.Errorf("labeled counter = %d, want %d", got, want)
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_gauge")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+				g.Add(-1)
+				g.Add(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := g.Value(), float64(8*1000*2); got != want {
+		t.Errorf("gauge = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", []float64{1, 10, 100})
+
+	// Boundary values land in the bucket whose upper bound equals them
+	// (le semantics: v <= bound).
+	for _, v := range []float64{0.5, 1} { // -> le=1
+		h.Observe(v)
+	}
+	for _, v := range []float64{1.0001, 10} { // -> le=10
+		h.Observe(v)
+	}
+	h.Observe(99.9) // -> le=100
+	h.Observe(101)  // -> +Inf overflow
+
+	s := snapshotFor(t, r, "test_seconds")
+	wantCumulative := []uint64{2, 4, 5, 6}
+	if len(s.Buckets) != 4 {
+		t.Fatalf("bucket count = %d, want 4 (3 bounds + Inf)", len(s.Buckets))
+	}
+	for i, b := range s.Buckets {
+		if b.Count != wantCumulative[i] {
+			t.Errorf("bucket[%d] (le=%v) = %d, want %d", i, b.UpperBound, b.Count, wantCumulative[i])
+		}
+	}
+	if !math.IsInf(s.Buckets[3].UpperBound, 1) {
+		t.Errorf("last bucket bound = %v, want +Inf", s.Buckets[3].UpperBound)
+	}
+	if s.Count != 6 {
+		t.Errorf("count = %d, want 6", s.Count)
+	}
+	wantSum := 0.5 + 1 + 1.0001 + 10 + 99.9 + 101
+	if math.Abs(s.Sum-wantSum) > 1e-9 {
+		t.Errorf("sum = %v, want %v", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("conc_seconds", []float64{1, 2, 4})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 5000; j++ {
+				h.Observe(float64(i%4) + 0.5)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got, want := h.Count(), uint64(8*5000); got != want {
+		t.Errorf("count = %d, want %d", got, want)
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	// Register in scrambled order, with labels in scrambled key order.
+	r.Counter("zeta_total")
+	r.Gauge("alpha_value")
+	r.Counter("mid_total", "z", "1", "a", "2")
+	r.Counter("mid_total", "a", "2", "z", "0")
+	r.Histogram("beta_seconds", []float64{1})
+
+	var got []string
+	for _, s := range r.Snapshot() {
+		got = append(got, s.FullName())
+	}
+	want := []string{
+		"alpha_value",
+		"beta_seconds",
+		`mid_total{a="2",z="0"}`,
+		`mid_total{a="2",z="1"}`,
+		"zeta_total",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("snapshot has %d samples %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("snapshot[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Errorf("snapshot not sorted: %v", got)
+	}
+	// Repeat snapshots must agree exactly.
+	for i, s := range r.Snapshot() {
+		if s.FullName() != got[i] {
+			t.Errorf("second snapshot differs at %d: %q vs %q", i, s.FullName(), got[i])
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "k", `va"l\ue`+"\n").Inc()
+	s := r.Snapshot()[0]
+	want := `esc_total{k="va\"l\\ue\n"}`
+	if s.FullName() != want {
+		t.Errorf("escaped name = %q, want %q", s.FullName(), want)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("clash_total")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("clash_total")
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 4, 4)
+	want := []float64{1, 4, 16, 64}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Errorf("bucket[%d] = %v, want %v", i, b[i], want[i])
+		}
+	}
+	if !sort.Float64sAreSorted(DurationBuckets) || !sort.Float64sAreSorted(SizeBuckets) {
+		t.Error("standard bucket sets must be sorted")
+	}
+}
+
+func snapshotFor(t *testing.T, r *Registry, name string) Sample {
+	t.Helper()
+	for _, s := range r.Snapshot() {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("metric %q not in snapshot", name)
+	return Sample{}
+}

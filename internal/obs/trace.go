@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace is a tree of timed pipeline stages. Spans opened with StartSpan nest
+// under the innermost open span, so sequential pipeline code produces the
+// stage hierarchy (pipeline → detector → join) without threading parents
+// around. A Trace is safe for concurrent use, though stages of a sequential
+// pipeline normally open and close in order.
+type Trace struct {
+	// FormatDay, when set, renders the simulated-day attributes of spans in
+	// Render and JSON output (e.g. simtime's YYYY-MM-DD).
+	FormatDay func(day int) string
+
+	mu   sync.Mutex
+	root *Span
+	cur  *Span
+}
+
+// Span is one timed stage. Fields are managed by the Trace; mutate through
+// the methods only.
+type Span struct {
+	Name string
+
+	tr       *Trace
+	parent   *Span
+	start    time.Time
+	dur      time.Duration
+	ended    bool
+	items    int64
+	dayFrom  int
+	dayTo    int
+	hasDays  bool
+	children []*Span
+}
+
+// NewTrace starts a trace whose root span has the given name.
+func NewTrace(name string) *Trace {
+	t := &Trace{}
+	t.root = &Span{Name: name, tr: t, start: time.Now()}
+	t.cur = t.root
+	return t
+}
+
+// StartSpan opens a child of the innermost open span.
+func (t *Trace) StartSpan(name string) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cur == nil {
+		t.cur = t.root // trace already ended: attach further spans to the root
+	}
+	s := &Span{Name: name, tr: t, parent: t.cur, start: time.Now()}
+	t.cur.children = append(t.cur.children, s)
+	t.cur = s
+	return s
+}
+
+// End closes the span (and any still-open descendants), recording wall time.
+func (s *Span) End() {
+	t := s.tr
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s.ended {
+		return
+	}
+	now := time.Now()
+	if isDescendant(s, t.cur) {
+		// Close any descendants left open, innermost first, and pop the
+		// current-span pointer past s.
+		for cur := t.cur; cur != s; cur = cur.parent {
+			if !cur.ended {
+				cur.ended = true
+				cur.dur = now.Sub(cur.start)
+			}
+		}
+		t.cur = s.parent
+	}
+	s.ended = true
+	s.dur = now.Sub(s.start)
+}
+
+func isDescendant(ancestor, s *Span) bool {
+	for p := s; p != nil; p = p.parent {
+		if p == ancestor {
+			return true
+		}
+	}
+	return false
+}
+
+// AddItems accumulates an item count on the span (entries scraped, certs
+// joined, ...).
+func (s *Span) AddItems(n int) {
+	s.tr.mu.Lock()
+	s.items += int64(n)
+	s.tr.mu.Unlock()
+}
+
+// SetDays records the simulated-day range the stage covered.
+func (s *Span) SetDays(from, to int) {
+	s.tr.mu.Lock()
+	s.dayFrom, s.dayTo, s.hasDays = from, to, true
+	s.tr.mu.Unlock()
+}
+
+// End closes the root span (and anything still open beneath it).
+func (t *Trace) End() { t.root.End() }
+
+// Root returns the root span.
+func (t *Trace) Root() *Span { return t.root }
+
+// Duration returns the root span's recorded wall time (the time since start
+// if the trace is still open).
+func (t *Trace) Duration() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.root.ended {
+		return t.root.dur
+	}
+	return time.Since(t.root.start)
+}
+
+// StageJSON is the serializable stage-timing tree emitted by cmd/staled
+// -json and cmd/experiments.
+type StageJSON struct {
+	Name     string      `json:"name"`
+	Ms       float64     `json:"ms"`
+	Items    int64       `json:"items,omitempty"`
+	Days     string      `json:"days,omitempty"`
+	Children []StageJSON `json:"children,omitempty"`
+}
+
+// JSON renders the trace as a stage tree.
+func (t *Trace) JSON() StageJSON {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.jsonLocked(t.root)
+}
+
+func (t *Trace) jsonLocked(s *Span) StageJSON {
+	out := StageJSON{
+		Name:  s.Name,
+		Ms:    float64(t.durLocked(s).Microseconds()) / 1000,
+		Items: s.items,
+		Days:  t.daysLocked(s),
+	}
+	for _, c := range s.children {
+		out.Children = append(out.Children, t.jsonLocked(c))
+	}
+	return out
+}
+
+func (t *Trace) durLocked(s *Span) time.Duration {
+	if s.ended {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+func (t *Trace) daysLocked(s *Span) string {
+	if !s.hasDays {
+		return ""
+	}
+	if t.FormatDay != nil {
+		return t.FormatDay(s.dayFrom) + ".." + t.FormatDay(s.dayTo)
+	}
+	return fmt.Sprintf("%d..%d", s.dayFrom, s.dayTo)
+}
+
+// Render returns an indented human-readable stage tree.
+func (t *Trace) Render() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var b strings.Builder
+	t.renderLocked(&b, t.root, 0)
+	return b.String()
+}
+
+func (t *Trace) renderLocked(b *strings.Builder, s *Span, depth int) {
+	fmt.Fprintf(b, "%-*s%-*s %10s", 2*depth, "", 30-2*depth, s.Name, t.durLocked(s).Round(time.Microsecond))
+	if s.items > 0 {
+		fmt.Fprintf(b, "  items=%d", s.items)
+	}
+	if d := t.daysLocked(s); d != "" {
+		fmt.Fprintf(b, "  days=%s", d)
+	}
+	b.WriteByte('\n')
+	for _, c := range s.children {
+		t.renderLocked(b, c, depth+1)
+	}
+}

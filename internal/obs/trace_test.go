@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceNesting(t *testing.T) {
+	tr := NewTrace("pipeline")
+	world := tr.StartSpan("world_build")
+	world.SetDays(100, 465)
+	world.AddItems(42)
+	world.End()
+	det := tr.StartSpan("detect")
+	join := tr.StartSpan("join")
+	join.AddItems(7)
+	join.End()
+	det.End()
+	tr.End()
+
+	root := tr.Root()
+	if len(root.children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(root.children))
+	}
+	if root.children[0].Name != "world_build" || root.children[1].Name != "detect" {
+		t.Errorf("children = %q, %q", root.children[0].Name, root.children[1].Name)
+	}
+	if len(root.children[1].children) != 1 || root.children[1].children[0].Name != "join" {
+		t.Errorf("join not nested under detect")
+	}
+
+	j := tr.JSON()
+	if j.Name != "pipeline" || len(j.Children) != 2 {
+		t.Fatalf("JSON root = %+v", j)
+	}
+	if j.Children[0].Items != 42 || j.Children[0].Days != "100..465" {
+		t.Errorf("world_build JSON = %+v", j.Children[0])
+	}
+	if j.Children[1].Children[0].Items != 7 {
+		t.Errorf("join JSON = %+v", j.Children[1].Children[0])
+	}
+	for _, c := range append([]StageJSON{j}, j.Children...) {
+		if c.Ms < 0 {
+			t.Errorf("stage %q has negative duration", c.Name)
+		}
+	}
+}
+
+func TestTraceEndClosesOpenDescendants(t *testing.T) {
+	tr := NewTrace("root")
+	outer := tr.StartSpan("outer")
+	tr.StartSpan("inner") // never explicitly ended
+	outer.End()
+	if !outer.children[0].ended {
+		t.Error("inner span not closed by outer.End")
+	}
+	// New spans open under the root again.
+	s := tr.StartSpan("after")
+	s.End()
+	if len(tr.Root().children) != 2 {
+		t.Errorf("root children = %d, want 2", len(tr.Root().children))
+	}
+}
+
+func TestTraceDayFormatter(t *testing.T) {
+	tr := NewTrace("root")
+	tr.FormatDay = func(d int) string {
+		return map[int]string{1: "2019-01-02", 5: "2019-01-06"}[d]
+	}
+	s := tr.StartSpan("stage")
+	s.SetDays(1, 5)
+	s.End()
+	tr.End()
+	if got := tr.JSON().Children[0].Days; got != "2019-01-02..2019-01-06" {
+		t.Errorf("formatted days = %q", got)
+	}
+	if out := tr.Render(); !strings.Contains(out, "days=2019-01-02..2019-01-06") {
+		t.Errorf("render missing formatted days:\n%s", out)
+	}
+}
+
+func TestRenderShape(t *testing.T) {
+	tr := NewTrace("pipeline")
+	s := tr.StartSpan("stage")
+	s.AddItems(3)
+	s.End()
+	tr.End()
+	out := tr.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("render lines = %d, want 2:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "pipeline") {
+		t.Errorf("line 0 = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  stage") || !strings.Contains(lines[1], "items=3") {
+		t.Errorf("line 1 = %q", lines[1])
+	}
+}

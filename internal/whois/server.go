@@ -12,6 +12,14 @@ import (
 	"time"
 
 	"stalecert/internal/dnsname"
+	"stalecert/internal/obs"
+)
+
+// Port-43 server metrics, labelled by query outcome.
+var (
+	mQueryOK      = obs.Default().Counter("whois_queries_total", "outcome", "ok")
+	mQueryNoMatch = obs.Default().Counter("whois_queries_total", "outcome", "no_match")
+	mQueryInvalid = obs.Default().Counter("whois_queries_total", "outcome", "invalid")
 )
 
 // Server answers WHOIS queries over TCP in the port-43 style: the client
@@ -90,14 +98,17 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 	query := dnsname.Canonical(strings.TrimSpace(line))
 	if query == "" || dnsname.Check(query, false) != nil {
+		mQueryInvalid.Inc()
 		_, _ = io.WriteString(conn, "Invalid query.\n")
 		return
 	}
 	rec, ok := s.source.WhoisLookup(query)
 	if !ok {
+		mQueryNoMatch.Inc()
 		_, _ = io.WriteString(conn, NotFoundResponse)
 		return
 	}
+	mQueryOK.Inc()
 	_, _ = io.WriteString(conn, rec.Format())
 }
 
