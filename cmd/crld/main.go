@@ -39,6 +39,8 @@ func main() {
 	flag.Parse()
 
 	logger, stopDebug := obsFlags.Setup("crld")
+	ready := obs.NewReady("CA directory not yet parsed")
+	obs.DefaultHealth().Register("ca-directory-parsed", ready.Probe)
 
 	nowDay, err := simtime.Parse(*now)
 	if err != nil {
@@ -64,6 +66,7 @@ func main() {
 		srv.Host(a, *failRate)
 	}
 
+	ready.OK()
 	logger.Info("serving CRLs", "cas", len(srv.Names()), "addr", *addr, "fail_rate", *failRate)
 	for _, n := range srv.Names() {
 		logger.Debug("hosting", "path", "/crl/"+n)
@@ -71,7 +74,8 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := obs.Middleware(obs.Default(), "crld", srv.Handler())
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	select {

@@ -39,6 +39,8 @@ func main() {
 	flag.Parse()
 
 	logger, stopDebug := obsFlags.Setup("ctlogd")
+	ready := obs.NewReady("ct tree not yet seeded")
+	obs.DefaultHealth().Register("ct-tree-loaded", ready.Probe)
 
 	var shard ctlog.Shard
 	if *shardStart != "" || *shardEnd != "" {
@@ -81,12 +83,14 @@ func main() {
 	}
 
 	sth := l.STH()
+	ready.OK()
 	logger.Info("serving CT log", "name", l.Name(), "shard", l.Shard().String(),
 		"size", sth.Size, "addr", *addr)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := obs.Middleware(obs.Default(), "ctlogd", srv.Handler())
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	select {

@@ -56,6 +56,9 @@ func main() {
 }
 
 func runServe(logger *slog.Logger, zonefile, apex, addr string) {
+	ready := obs.NewReady("zone not yet loaded")
+	obs.DefaultHealth().Register("zone-loaded", ready.Probe)
+
 	var zone *dnssim.Zone
 	if zonefile == "" {
 		// Demo zone with one self-hosted and one CDN-delegated domain.
@@ -92,13 +95,18 @@ func runServe(logger *slog.Logger, zonefile, apex, addr string) {
 		logger.Error("listen failed", "addr", addr, "err", err)
 		os.Exit(1)
 	}
+	ready.OK()
 	logger.Info("serving zone", "apex", zone.Apex, "records", zone.Len(), "addr", bound.String())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	<-ctx.Done()
 	logger.Info("shutting down")
-	_ = srv.Close()
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		logger.Error("shutdown", "err", err)
+	}
 }
 
 func runScan(logger *slog.Logger, server, domainList string) {

@@ -1,0 +1,99 @@
+// Command obsagg is the fleet metrics aggregator: it scrapes every
+// configured daemon's /metrics endpoint on an interval, merges the series
+// under added job/instance labels, and serves the combined view — one
+// Prometheus scrape target for the whole deployment — plus a plain-text
+// fleet summary. Scrape failures and jobs whose server error rate crosses a
+// threshold raise structured log alerts.
+//
+// Usage:
+//
+//	obsagg -targets ctlogd=http://127.0.0.1:9090,crld=http://127.0.0.1:9091 \
+//	       [-addr 127.0.0.1:8790] [-scrape-interval 10s] [-error-rate-threshold 0.1]
+//	       [-debug-addr 127.0.0.1:0] [-log-format text|json]
+//
+// Endpoints:
+//
+//	/metrics  federated exposition across every target (+ obsagg's own series)
+//	/fleet    plain-text per-target summary (up/down, series counts, failures)
+//	/healthz  liveness
+//	/readyz   ready once the first scrape round completes
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"stalecert/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8790", "listen address for the federated surface")
+	targets := flag.String("targets", "", "comma-separated job=URL scrape targets (required)")
+	interval := flag.Duration("scrape-interval", 10*time.Second, "scrape interval")
+	threshold := flag.Float64("error-rate-threshold", 0.1, "per-job 5xx/total fraction that raises an alert (0 disables)")
+	obsFlags := obs.BindFlags(flag.CommandLine)
+	flag.Parse()
+
+	logger, stopDebug := obsFlags.Setup("obsagg")
+
+	if *targets == "" {
+		logger.Error("-targets is required (job=URL,...)")
+		os.Exit(2)
+	}
+	parsed, err := obs.ParseTargets(*targets)
+	if err != nil {
+		logger.Error("bad -targets", "err", err)
+		os.Exit(2)
+	}
+
+	agg := &obs.Aggregator{
+		Targets:            parsed,
+		Logger:             logger,
+		ErrorRateThreshold: *threshold,
+		SelfJob:            "obsagg",
+	}
+	obs.DefaultHealth().Register("first-scrape-round", agg.Ready)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go agg.Run(ctx, *interval)
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", agg.Handler())
+	mux.Handle("/fleet", agg.Handler())
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		obs.HandlerFor(obs.Default(), obs.DefaultHealth()).ServeHTTP(w, r)
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		obs.HandlerFor(obs.Default(), obs.DefaultHealth()).ServeHTTP(w, r)
+	})
+	handler := obs.Middleware(obs.Default(), "obsagg", mux)
+
+	logger.Info("serving federated metrics", "targets", len(parsed), "addr", *addr,
+		"interval", interval.String(), "endpoints", "/metrics /fleet /healthz /readyz")
+
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("server failed", "err", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		logger.Info("shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			logger.Error("shutdown", "err", err)
+		}
+		_ = stopDebug(sctx)
+	}
+}

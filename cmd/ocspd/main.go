@@ -37,6 +37,8 @@ func main() {
 	flag.Parse()
 
 	logger, stopDebug := obsFlags.Setup("ocspd")
+	ready := obs.NewReady("responder not yet seeded")
+	obs.DefaultHealth().Register("responder-seeded", ready.Probe)
 
 	nowDay, err := simtime.Parse(*now)
 	if err != nil {
@@ -58,11 +60,13 @@ func main() {
 
 	responder := &revcheck.OCSPResponder{Authorities: auths}
 	responder.SetNow(nowDay)
+	ready.OK()
 	logger.Info("serving OCSP", "cas", len(auths), "addr", *addr, "endpoint", "POST /ocsp")
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	httpSrv := &http.Server{Addr: *addr, Handler: responder.Handler()}
+	handler := obs.Middleware(obs.Default(), "ocspd", responder.Handler())
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	select {

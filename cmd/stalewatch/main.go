@@ -126,9 +126,9 @@ func crlBackedChecker(base string) revcheck.Checker {
 	for _, p := range dir.All() {
 		names = append(names, p.Name)
 	}
-	return revcheck.CheckerFunc(func(cert *x509sim.Certificate, now simtime.Day) (revcheck.Status, crl.Reason, error) {
+	return revcheck.CheckerFunc(func(ctx context.Context, cert *x509sim.Certificate, now simtime.Day) (revcheck.Status, crl.Reason, error) {
 		fetcher := &crl.Fetcher{Base: base}
-		lists, err := fetcher.FetchAll(context.Background(), names)
+		lists, err := fetcher.FetchAll(ctx, names)
 		if err != nil {
 			return revcheck.StatusUnavailable, 0, err
 		}

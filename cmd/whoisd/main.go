@@ -44,6 +44,9 @@ func main() {
 		return
 	}
 
+	ready := obs.NewReady("registry not yet seeded")
+	obs.DefaultHealth().Register("registry-seeded", ready.Probe)
+
 	reg := registry.New("com", "net")
 	base := simtime.MustParse("2021-01-01")
 	for i := 0; i < *seedDomains; i++ {
@@ -62,14 +65,17 @@ func main() {
 		logger.Error("listen failed", "addr", *addr, "err", err)
 		os.Exit(1)
 	}
+	ready.OK()
 	logger.Info("serving WHOIS", "domains", *seedDomains, "addr", bound.String())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	<-ctx.Done()
 	logger.Info("shutting down")
-	_ = srv.Close()
 	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		logger.Error("shutdown", "err", err)
+	}
 	_ = stopDebug(sctx)
 }

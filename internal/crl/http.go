@@ -239,12 +239,11 @@ type Fetcher struct {
 }
 
 // FetchAll performs one daily collection over the named CAs, returning the
-// successfully fetched lists keyed by CA name.
+// successfully fetched lists keyed by CA name. The HTTP client is wrapped in
+// an obs.Transport (request-ID propagation, per-peer metrics) unless the
+// caller already supplied an instrumented one.
 func (f *Fetcher) FetchAll(ctx context.Context, names []string) (map[string]*List, error) {
-	hc := f.HC
-	if hc == nil {
-		hc = http.DefaultClient
-	}
+	hc := obs.InstrumentClient(f.HC, "crl-fetcher")
 	retries := f.Retries
 	if retries == 0 {
 		retries = 2

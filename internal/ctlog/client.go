@@ -36,12 +36,12 @@ type Client struct {
 }
 
 // NewClient creates a client for the log at baseURL (e.g. the httptest server
-// URL). If hc is nil, http.DefaultClient is used.
+// URL). If hc is nil, the default client is used, wrapped in an
+// obs.Transport so every hop carries a request ID and records per-peer
+// latency/outcome metrics; a caller-supplied client is instrumented the same
+// way unless it already is.
 func NewClient(baseURL string, hc *http.Client) *Client {
-	if hc == nil {
-		hc = http.DefaultClient
-	}
-	return &Client{base: baseURL, hc: hc}
+	return &Client{base: baseURL, hc: obs.InstrumentClient(hc, "ctlog-client")}
 }
 
 // RemoteError is a non-2xx response from the log.

@@ -11,6 +11,7 @@ import (
 	"net/netip"
 	"sort"
 	"strings"
+	"sync"
 
 	"stalecert/internal/dnsname"
 )
@@ -109,10 +110,13 @@ type Key struct {
 	Type RRType
 }
 
-// Zone is a mutable set of records under one apex. The zero value is not
-// usable; construct with NewZone.
+// Zone is a mutable set of records under one apex, safe for concurrent use
+// (the UDP server answers queries while enrolments and departures mutate the
+// zone). The zero value is not usable; construct with NewZone.
 type Zone struct {
 	Apex string
+
+	mu   sync.RWMutex
 	sets map[Key][]Record
 }
 
@@ -134,6 +138,8 @@ func (z *Zone) Add(r Record) error {
 	if !dnsname.IsSubdomain(r.Name, z.Apex) {
 		return fmt.Errorf("dnssim: %q outside zone %q", r.Name, z.Apex)
 	}
+	z.mu.Lock()
+	defer z.mu.Unlock()
 	k := Key{Name: r.Name, Type: r.Type}
 	for _, existing := range z.sets[k] {
 		if existing.Data == r.Data {
@@ -147,6 +153,8 @@ func (z *Zone) Add(r Record) error {
 // Remove deletes records matching (name, type, data); empty data removes the
 // whole RRSet. It returns the number of records removed.
 func (z *Zone) Remove(name string, t RRType, data string) int {
+	z.mu.Lock()
+	defer z.mu.Unlock()
 	k := Key{Name: dnsname.Canonical(name), Type: t}
 	set, ok := z.sets[k]
 	if !ok {
@@ -173,13 +181,23 @@ func (z *Zone) Remove(name string, t RRType, data string) int {
 	return removed
 }
 
-// Lookup returns the RRSet for (name, type), nil if absent.
+// Lookup returns the RRSet for (name, type), nil if absent. The returned
+// slice is the caller's: Remove compacts sets in place, so sharing the
+// backing array would race with later mutation.
 func (z *Zone) Lookup(name string, t RRType) []Record {
-	return z.sets[Key{Name: dnsname.Canonical(name), Type: t}]
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	set := z.sets[Key{Name: dnsname.Canonical(name), Type: t}]
+	if set == nil {
+		return nil
+	}
+	return append([]Record(nil), set...)
 }
 
 // Names returns every owner name in the zone, sorted.
 func (z *Zone) Names() []string {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
 	seen := make(map[string]bool)
 	for k := range z.sets {
 		seen[k.Name] = true
@@ -194,6 +212,8 @@ func (z *Zone) Names() []string {
 
 // Records returns every record in the zone in deterministic order.
 func (z *Zone) Records() []Record {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
 	var out []Record
 	for _, set := range z.sets {
 		out = append(out, set...)
@@ -212,6 +232,8 @@ func (z *Zone) Records() []Record {
 
 // Len returns the number of records.
 func (z *Zone) Len() int {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
 	n := 0
 	for _, set := range z.sets {
 		n += len(set)

@@ -1,6 +1,7 @@
 package dnssim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -190,6 +191,20 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	return err
+}
+
+// Shutdown stops the server like Close but bounds the wait for the serve
+// loop by ctx, mirroring the graceful drain the HTTP daemons get from
+// net/http.Server.Shutdown.
+func (s *Server) Shutdown(ctx context.Context) error {
+	done := make(chan error, 1)
+	go func() { done <- s.Close() }()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 func (s *Server) loop(conn net.PacketConn) {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"stalecert/internal/core"
@@ -33,7 +34,7 @@ func (r *Results) RevocationEffectiveness() *report.Table {
 		certs = append(certs, s.Cert)
 	}
 	now := r.World.Today()
-	rows := revcheck.MeasureEffectiveness(certs, now, r.crlCheckers(), nil)
+	rows := revcheck.MeasureEffectiveness(context.Background(), certs, now, r.crlCheckers(), nil)
 
 	t := &report.Table{
 		Title: "Extension: revocation effectiveness against revoked stale certificates",

@@ -236,7 +236,7 @@ func (ev *Evaluator) Evaluate(ctx context.Context, hit Hit) ([]Alert, error) {
 		}
 	}
 	if ev.Revocation != nil {
-		if st, reason, _ := ev.Revocation.Check(cert, ev.Now); st == revcheck.StatusRevoked {
+		if st, reason, _ := ev.Revocation.Check(ctx, cert, ev.Now); st == revcheck.StatusRevoked {
 			alerts = append(alerts, Alert{
 				Kind: AlertRevokedValid, Domain: strings.Join(hit.Domains, ","), Cert: cert,
 				Detail: fmt.Sprintf("revoked (%v) but unexpired until %s", reason, cert.NotAfter),

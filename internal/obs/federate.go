@@ -1,0 +1,624 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file implements metrics federation: a parser for the Prometheus text
+// exposition format WriteProm emits, and an Aggregator that scrapes every
+// daemon's /metrics on an interval, merges the series under added
+// job/instance labels, and serves the combined fleet view.
+
+// ParseProm parses Prometheus text exposition format into samples, the
+// inverse of WriteSamples: counters and gauges become one sample each
+// (kind from the TYPE comment; untyped series parse as gauges), and
+// histogram _bucket/_sum/_count series are reassembled into one histogram
+// sample per label set. Label values are unescaped; returned samples are
+// sorted by family then labels with canonically re-rendered label sets, so
+// ParseProm(WriteProm(reg)) round-trips Snapshot exactly.
+func ParseProm(r io.Reader) ([]Sample, error) {
+	kinds := make(map[string]Kind)
+	type hkey struct{ family, labels string }
+	order := []string{}
+	flat := make(map[string]*Sample)   // counters and gauges by family+labels
+	hists := make(map[hkey]*Sample)    // histograms being reassembled
+	horder := []hkey{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				switch fields[3] {
+				case "counter":
+					kinds[fields[2]] = KindCounter
+				case "gauge":
+					kinds[fields[2]] = KindGauge
+				case "histogram":
+					kinds[fields[2]] = KindHistogram
+				}
+			}
+			continue
+		}
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: parse line %d: %w", lineNo, err)
+		}
+		if family, suffix := histogramFamily(name, kinds); family != "" {
+			pairs, err := labelPairs(labels)
+			if err != nil {
+				return nil, fmt.Errorf("obs: parse line %d: %w", lineNo, err)
+			}
+			le := ""
+			trimmed := pairs[:0]
+			for i := 0; i < len(pairs); i += 2 {
+				if pairs[i] == "le" {
+					le = pairs[i+1]
+					continue
+				}
+				trimmed = append(trimmed, pairs[i], pairs[i+1])
+			}
+			key := hkey{family, formatLabels(trimmed)}
+			h := hists[key]
+			if h == nil {
+				h = &Sample{Name: family, Labels: key.labels, Kind: KindHistogram}
+				hists[key] = h
+				horder = append(horder, key)
+			}
+			switch suffix {
+			case "_bucket":
+				if le == "" {
+					return nil, fmt.Errorf("obs: parse line %d: bucket without le label", lineNo)
+				}
+				bound := inf
+				if le != "+Inf" {
+					bound, err = strconv.ParseFloat(le, 64)
+					if err != nil {
+						return nil, fmt.Errorf("obs: parse line %d: bad le %q", lineNo, le)
+					}
+				}
+				h.Buckets = append(h.Buckets, BucketCount{UpperBound: bound, Count: uint64(value)})
+			case "_sum":
+				h.Sum = value
+			case "_count":
+				h.Count = uint64(value)
+			}
+			continue
+		}
+		kind, ok := kinds[name]
+		if !ok || kind == KindHistogram {
+			kind = KindGauge // untyped series read back as gauges
+		}
+		pairs, err := labelPairs(labels)
+		if err != nil {
+			return nil, fmt.Errorf("obs: parse line %d: %w", lineNo, err)
+		}
+		canonical := formatLabels(pairs)
+		key := name + canonical
+		if _, dup := flat[key]; !dup {
+			order = append(order, key)
+		}
+		flat[key] = &Sample{Name: name, Labels: canonical, Kind: kind, Value: value}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: scan exposition: %w", err)
+	}
+
+	out := make([]Sample, 0, len(order)+len(horder))
+	for _, k := range order {
+		out = append(out, *flat[k])
+	}
+	for _, k := range horder {
+		h := hists[k]
+		sort.Slice(h.Buckets, func(i, j int) bool { return h.Buckets[i].UpperBound < h.Buckets[j].UpperBound })
+		out = append(out, *h)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Labels < out[j].Labels
+	})
+	return out, nil
+}
+
+// histogramFamily reports whether name is a series of a family declared as a
+// histogram, returning the base family and the matched suffix.
+func histogramFamily(name string, kinds map[string]Kind) (family, suffix string) {
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, s)
+		if ok && kinds[base] == KindHistogram {
+			return base, s
+		}
+	}
+	return "", ""
+}
+
+// parseSampleLine splits `name{labels} value` (labels optional) without
+// breaking on escaped quotes or commas inside label values.
+func parseSampleLine(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		name = line[:i]
+		end := labelSetEnd(line[i:])
+		if end < 0 {
+			return "", "", 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels = line[i : i+end+1]
+		rest = line[i+end+1:]
+	} else if sp := strings.IndexByte(line, ' '); sp >= 0 {
+		name = line[:sp]
+		rest = line[sp:]
+	} else {
+		return "", "", 0, fmt.Errorf("no value in %q", line)
+	}
+	if name == "" {
+		return "", "", 0, fmt.Errorf("no metric name in %q", line)
+	}
+	v := strings.TrimSpace(rest)
+	// Prometheus allows an optional trailing timestamp; ignore it.
+	if sp := strings.IndexByte(v, ' '); sp >= 0 {
+		v = v[:sp]
+	}
+	switch v {
+	case "+Inf", "Inf":
+		return name, labels, math.Inf(1), nil
+	case "-Inf":
+		return name, labels, math.Inf(-1), nil
+	}
+	value, err = strconv.ParseFloat(v, 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value %q in %q", v, line)
+	}
+	return name, labels, value, nil
+}
+
+// labelSetEnd returns the index of the closing '}' of a label set starting at
+// s[0] == '{', respecting quoted values with backslash escapes.
+func labelSetEnd(s string) int {
+	inQuote := false
+	for i := 1; i < len(s); i++ {
+		switch {
+		case inQuote && s[i] == '\\':
+			i++ // skip the escaped byte
+		case s[i] == '"':
+			inQuote = !inQuote
+		case !inQuote && s[i] == '}':
+			return i
+		}
+	}
+	return -1
+}
+
+// labelPairs decodes a rendered label set ("" or `{k="v",...}`) back into
+// unescaped key/value pairs.
+func labelPairs(labels string) ([]string, error) {
+	if labels == "" {
+		return nil, nil
+	}
+	if len(labels) < 2 || labels[0] != '{' || labels[len(labels)-1] != '}' {
+		return nil, fmt.Errorf("malformed label set %q", labels)
+	}
+	s := labels[1 : len(labels)-1]
+	var pairs []string
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 || len(s) < eq+2 || s[eq+1] != '"' {
+			return nil, fmt.Errorf("malformed label in %q", labels)
+		}
+		key := strings.TrimSpace(s[:eq])
+		rest := s[eq+2:]
+		var b strings.Builder
+		i := 0
+		closed := false
+		for i < len(rest) {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				switch rest[i+1] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(c)
+					b.WriteByte(rest[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			b.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated value in %q", labels)
+		}
+		pairs = append(pairs, key, b.String())
+		s = rest[i:]
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+		}
+	}
+	return pairs, nil
+}
+
+// WithLabels returns the sample with the given label pairs set (overriding
+// existing keys), re-rendered canonically.
+func WithLabels(s Sample, setPairs ...string) (Sample, error) {
+	pairs, err := labelPairs(s.Labels)
+	if err != nil {
+		return s, err
+	}
+	for i := 0; i < len(setPairs); i += 2 {
+		replaced := false
+		for j := 0; j < len(pairs); j += 2 {
+			if pairs[j] == setPairs[i] {
+				pairs[j+1] = setPairs[i+1]
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			pairs = append(pairs, setPairs[i], setPairs[i+1])
+		}
+	}
+	s.Labels = formatLabels(pairs)
+	return s, nil
+}
+
+// LabelValue extracts one label's (unescaped) value from a sample, or "".
+func LabelValue(s Sample, key string) string {
+	pairs, err := labelPairs(s.Labels)
+	if err != nil {
+		return ""
+	}
+	for i := 0; i < len(pairs); i += 2 {
+		if pairs[i] == key {
+			return pairs[i+1]
+		}
+	}
+	return ""
+}
+
+// Target is one daemon an Aggregator scrapes: Job names the service class
+// (ctlogd, crld, ...) and URL is the base of its debug listener; /metrics is
+// appended.
+type Target struct {
+	Job string
+	URL string
+}
+
+// Instance derives the instance label (host:port) from the target URL.
+func (t Target) Instance() string {
+	if u, err := url.Parse(t.URL); err == nil && u.Host != "" {
+		return u.Host
+	}
+	return t.URL
+}
+
+// ParseTargets parses the -targets flag syntax: a comma-separated list of
+// job=URL entries, e.g. "ctlogd=http://127.0.0.1:9090,crld=http://127.0.0.1:9091".
+func ParseTargets(spec string) ([]Target, error) {
+	var out []Target
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		job, rawURL, ok := strings.Cut(part, "=")
+		if !ok || job == "" || rawURL == "" {
+			return nil, fmt.Errorf("obs: bad target %q (want job=URL)", part)
+		}
+		if _, err := url.Parse(rawURL); err != nil {
+			return nil, fmt.Errorf("obs: bad target URL %q: %w", rawURL, err)
+		}
+		out = append(out, Target{Job: job, URL: rawURL})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("obs: no targets in %q", spec)
+	}
+	return out, nil
+}
+
+// targetState is the last scrape outcome for one target.
+type targetState struct {
+	target    Target
+	lastOK    time.Time
+	lastTry   time.Time
+	lastErr   error
+	series    int
+	successes uint64
+	failures  uint64
+}
+
+// Aggregator federates many daemons' metrics: each scrape round fetches
+// every target's /metrics, parses it, adds job/instance labels, and replaces
+// that target's series in the merged view. Scrape failures keep the previous
+// round's series (marking the target down in the fleet summary) and raise a
+// slog alert, as does any job whose server error rate crosses
+// ErrorRateThreshold.
+type Aggregator struct {
+	Targets []Target
+	// Client performs the scrapes; nil uses an instrumented client on reg.
+	Client *http.Client
+	// Registry receives the aggregator's own scrape metrics (nil: Default()).
+	Registry *Registry
+	// Logger receives scrape-failure and error-rate alerts (nil: slog.Default()).
+	Logger *slog.Logger
+	// ErrorRateThreshold is the 5xx/total fraction per job above which an
+	// alert fires (0 disables).
+	ErrorRateThreshold float64
+	// SelfJob, when non-empty, merges Registry's own snapshot into the
+	// federated view under this job name without an HTTP round trip.
+	SelfJob string
+
+	mu     sync.RWMutex
+	byJob  map[string][]Sample // target key -> relabelled samples
+	states map[string]*targetState
+	rounds uint64
+}
+
+func (a *Aggregator) reg() *Registry {
+	if a.Registry != nil {
+		return a.Registry
+	}
+	return Default()
+}
+
+func (a *Aggregator) logger() *slog.Logger {
+	if a.Logger != nil {
+		return a.Logger
+	}
+	return slog.Default()
+}
+
+func (a *Aggregator) client() *http.Client {
+	if a.Client != nil {
+		return a.Client
+	}
+	return NewHTTPClient(a.reg(), "obsagg")
+}
+
+// ScrapeOnce runs one scrape round over every target.
+func (a *Aggregator) ScrapeOnce(ctx context.Context) {
+	hc := a.client()
+	began := time.Now()
+	for _, t := range a.Targets {
+		samples, err := a.scrapeTarget(ctx, hc, t)
+		a.record(t, samples, err)
+	}
+	if a.SelfJob != "" {
+		self := a.reg().Snapshot()
+		relabelled := make([]Sample, 0, len(self))
+		for _, s := range self {
+			rs, err := WithLabels(s, "job", a.SelfJob, "instance", "self")
+			if err != nil {
+				continue
+			}
+			relabelled = append(relabelled, rs)
+		}
+		a.mu.Lock()
+		a.ensureMaps()
+		a.byJob[a.SelfJob+"\x00self"] = relabelled
+		a.mu.Unlock()
+	}
+	a.mu.Lock()
+	a.rounds++
+	a.mu.Unlock()
+	a.reg().Histogram("obsagg_round_seconds", nil).Observe(time.Since(began).Seconds())
+	a.alertErrorRates()
+}
+
+func (a *Aggregator) scrapeTarget(ctx context.Context, hc *http.Client, t Target) ([]Sample, error) {
+	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet, strings.TrimSuffix(t.URL, "/")+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("obs: scrape %s: status %d", t.URL, resp.StatusCode)
+	}
+	samples, err := ParseProm(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Sample, 0, len(samples))
+	for _, s := range samples {
+		rs, err := WithLabels(s, "job", t.Job, "instance", t.Instance())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rs)
+	}
+	return out, nil
+}
+
+func (a *Aggregator) ensureMaps() {
+	if a.byJob == nil {
+		a.byJob = make(map[string][]Sample)
+	}
+	if a.states == nil {
+		a.states = make(map[string]*targetState)
+	}
+}
+
+func (a *Aggregator) record(t Target, samples []Sample, err error) {
+	key := t.Job + "\x00" + t.Instance()
+	outcome := "ok"
+	a.mu.Lock()
+	a.ensureMaps()
+	st := a.states[key]
+	if st == nil {
+		st = &targetState{target: t}
+		a.states[key] = st
+	}
+	st.lastTry = time.Now()
+	st.lastErr = err
+	if err == nil {
+		st.lastOK = st.lastTry
+		st.series = len(samples)
+		st.successes++
+		a.byJob[key] = samples
+	} else {
+		st.failures++
+		outcome = "error"
+	}
+	a.mu.Unlock()
+	a.reg().Counter("obsagg_scrapes_total", "job", t.Job, "outcome", outcome).Inc()
+	if err != nil {
+		a.logger().Warn("scrape failed", "job", t.Job, "instance", t.Instance(), "err", err)
+	}
+}
+
+// alertErrorRates inspects the federated server request counters and logs an
+// alert for any job whose 5xx fraction exceeds the threshold.
+func (a *Aggregator) alertErrorRates() {
+	if a.ErrorRateThreshold <= 0 {
+		return
+	}
+	type rate struct{ errors, total float64 }
+	rates := make(map[string]*rate)
+	for _, s := range a.Federated() {
+		if s.Name != "http_requests_total" {
+			continue
+		}
+		job := LabelValue(s, "job")
+		r := rates[job]
+		if r == nil {
+			r = &rate{}
+			rates[job] = r
+		}
+		r.total += s.Value
+		if LabelValue(s, "code") == "5xx" {
+			r.errors += s.Value
+		}
+	}
+	for job, r := range rates {
+		if r.total > 0 && r.errors/r.total > a.ErrorRateThreshold {
+			a.logger().Warn("error rate above threshold", "job", job,
+				"rate", r.errors/r.total, "threshold", a.ErrorRateThreshold,
+				"errors", r.errors, "requests", r.total)
+		}
+	}
+}
+
+// Run scrapes immediately and then on every interval tick until ctx is done.
+func (a *Aggregator) Run(ctx context.Context, interval time.Duration) {
+	a.ScrapeOnce(ctx)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			a.ScrapeOnce(ctx)
+		}
+	}
+}
+
+// Federated returns the merged fleet snapshot, sorted by family then labels.
+func (a *Aggregator) Federated() []Sample {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	var out []Sample
+	for _, samples := range a.byJob {
+		out = append(out, samples...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Labels < out[j].Labels
+	})
+	return out
+}
+
+// Ready is a readiness probe: the aggregator is ready once a scrape round
+// has completed.
+func (a *Aggregator) Ready(context.Context) error {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.rounds == 0 {
+		return fmt.Errorf("no scrape round completed yet")
+	}
+	return nil
+}
+
+// Handler serves the fleet surface:
+//
+//	/metrics  the federated exposition (every job's series + job/instance labels)
+//	/fleet    a plain-text per-target summary (up/down, last scrape, series)
+func (a *Aggregator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteSamples(w, a.Federated())
+	})
+	mux.HandleFunc("GET /fleet", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		a.writeFleet(w)
+	})
+	return mux
+}
+
+func (a *Aggregator) writeFleet(w io.Writer) {
+	a.mu.RLock()
+	states := make([]*targetState, 0, len(a.states))
+	for _, st := range a.states {
+		states = append(states, st)
+	}
+	rounds := a.rounds
+	a.mu.RUnlock()
+	sort.Slice(states, func(i, j int) bool {
+		if states[i].target.Job != states[j].target.Job {
+			return states[i].target.Job < states[j].target.Job
+		}
+		return states[i].target.Instance() < states[j].target.Instance()
+	})
+	fmt.Fprintf(w, "fleet: %d targets, %d scrape rounds\n\n", len(states), rounds)
+	fmt.Fprintf(w, "%-12s %-22s %-5s %8s %10s %10s  last error\n",
+		"JOB", "INSTANCE", "UP", "SERIES", "SCRAPES", "FAILURES")
+	for _, st := range states {
+		up := "up"
+		lastErr := ""
+		if st.lastErr != nil {
+			up = "down"
+			lastErr = st.lastErr.Error()
+		}
+		fmt.Fprintf(w, "%-12s %-22s %-5s %8d %10d %10d  %s\n",
+			st.target.Job, st.target.Instance(), up, st.series,
+			st.successes+st.failures, st.failures, lastErr)
+	}
+}

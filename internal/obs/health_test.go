@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHealthzAlwaysOK(t *testing.T) {
+	h := NewHealth()
+	h.Register("never", func(context.Context) error { return errors.New("down") })
+	ts := httptest.NewServer(HandlerFor(NewRegistry(), h))
+	defer ts.Close()
+	code, body := getBody(t, ts.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Errorf("healthz = %d, want 200 even with failing probes", code)
+	}
+	if !strings.Contains(body, "ok") {
+		t.Errorf("healthz body = %q", body)
+	}
+}
+
+func TestReadyzFlipsOnceProbesPass(t *testing.T) {
+	h := NewHealth()
+	ready := NewReady("tree not loaded")
+	h.Register("ct-tree-loaded", ready.Probe)
+	ts := httptest.NewServer(HandlerFor(NewRegistry(), h))
+	defer ts.Close()
+
+	code, body := getBody(t, ts.URL+"/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before init = %d, want 503", code)
+	}
+	if !strings.Contains(body, "not-ready ct-tree-loaded: tree not loaded") {
+		t.Errorf("readyz body = %q", body)
+	}
+
+	ready.OK()
+	code, body = getBody(t, ts.URL+"/readyz")
+	if code != http.StatusOK {
+		t.Fatalf("readyz after init = %d, want 200", code)
+	}
+	if !strings.Contains(body, "ready ct-tree-loaded") {
+		t.Errorf("readyz body = %q", body)
+	}
+
+	// A later failure flips it back: readiness is a live conjunction.
+	ready.Fail(errors.New("tree corrupted"))
+	if code, _ := getBody(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("readyz after Fail = %d, want 503", code)
+	}
+}
+
+func TestReadyzNoProbes(t *testing.T) {
+	ts := httptest.NewServer(HandlerFor(NewRegistry(), NewHealth()))
+	defer ts.Close()
+	code, body := getBody(t, ts.URL+"/readyz")
+	if code != http.StatusOK {
+		t.Errorf("readyz with no probes = %d, want 200", code)
+	}
+	if !strings.Contains(body, "no probes registered") {
+		t.Errorf("body = %q", body)
+	}
+}
+
+func TestHealthCheckSortedResults(t *testing.T) {
+	h := NewHealth()
+	h.Register("b", func(context.Context) error { return nil })
+	h.Register("a", func(context.Context) error { return errors.New("x") })
+	h.Register("c", func(context.Context) error { return nil })
+	res := h.Check(context.Background())
+	if len(res) != 3 || res[0].Name != "a" || res[1].Name != "b" || res[2].Name != "c" {
+		t.Fatalf("results = %+v", res)
+	}
+	if res[0].Err == nil || res[1].Err != nil {
+		t.Errorf("probe outcomes wrong: %+v", res)
+	}
+}

@@ -13,12 +13,19 @@ import (
 	"strconv"
 )
 
-// Handler serves the debug surface for a registry:
+// Handler serves the debug surface for a registry with the process-wide
+// DefaultHealth probe set:
 //
 //	/metrics      Prometheus text exposition format
 //	/debug/vars   expvar-compatible JSON (standard vars + every metric)
 //	/debug/pprof  the net/http/pprof profiles
-func Handler(r *Registry) http.Handler {
+//	/healthz      liveness (always 200 while the process serves)
+//	/readyz       readiness: 200 once every registered probe passes
+func Handler(r *Registry) http.Handler { return HandlerFor(r, DefaultHealth()) }
+
+// HandlerFor serves the debug surface for an explicit registry and probe set
+// (tests and the federation aggregator construct private ones).
+func HandlerFor(r *Registry, health *Health) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -33,12 +40,18 @@ func Handler(r *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /healthz", health.handleHealthz)
+	mux.HandleFunc("GET /readyz", health.handleReadyz)
 	return mux
 }
 
 // WriteProm writes the registry snapshot in Prometheus text format.
-func WriteProm(w io.Writer, r *Registry) {
-	samples := r.Snapshot()
+func WriteProm(w io.Writer, r *Registry) { WriteSamples(w, r.Snapshot()) }
+
+// WriteSamples writes samples (sorted by family then labels, as Snapshot and
+// ParseProm return them) in Prometheus text format. Consecutive samples of
+// one family share a single TYPE comment.
+func WriteSamples(w io.Writer, samples []Sample) {
 	lastFamily := ""
 	for _, s := range samples {
 		if s.Name != lastFamily {
@@ -114,11 +127,17 @@ func writeVars(w io.Writer, r *Registry) {
 // bound address and a graceful-shutdown func. Pass "127.0.0.1:0" for an
 // ephemeral port.
 func StartDebug(addr string, r *Registry) (string, func(context.Context) error, error) {
+	return StartDebugServer(addr, Handler(r))
+}
+
+// StartDebugServer serves an arbitrary debug handler (typically Handler or
+// HandlerFor wrapped in Middleware) on addr in the background.
+func StartDebugServer(addr string, h http.Handler) (string, func(context.Context) error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("obs: debug listen: %w", err)
 	}
-	srv := &http.Server{Handler: Handler(r)}
+	srv := &http.Server{Handler: h}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), srv.Shutdown, nil
 }

@@ -55,19 +55,21 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 }
 
 // Setup installs the configured logger (tagged with the component name) and,
-// when -debug-addr is set, starts the debug endpoint server on the Default
-// registry. The returned stop func gracefully shuts the debug server down
-// (no-op when disabled).
+// when -debug-addr is set, starts the debug endpoint server — the Default
+// registry and DefaultHealth probes behind the request-scoped Middleware, so
+// the debug surface itself has RED metrics and access logs. The returned
+// stop func gracefully shuts the debug server down (no-op when disabled).
 func (f *Flags) Setup(component string) (*slog.Logger, func(context.Context) error) {
 	logger := SetupLogger(f.LogFormat, f.LogLevel).With("component", component)
 	stop := func(context.Context) error { return nil }
 	if f.DebugAddr != "" {
-		bound, shutdown, err := StartDebug(f.DebugAddr, Default())
+		h := Middleware(Default(), component, HandlerFor(Default(), DefaultHealth()))
+		bound, shutdown, err := StartDebugServer(f.DebugAddr, h)
 		if err != nil {
 			logger.Error("debug server failed to start", "addr", f.DebugAddr, "err", err)
 		} else {
 			logger.Info("debug endpoints up", "addr", bound,
-				"endpoints", "/metrics /debug/vars /debug/pprof")
+				"endpoints", "/metrics /debug/vars /debug/pprof /healthz /readyz")
 			stop = shutdown
 		}
 	}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Middleware wraps an HTTP handler with the per-request observability every
+// daemon surface shares:
+//
+//   - RED metrics in reg: http_requests_total{service,route,code},
+//     http_request_seconds{service,route} and the
+//     http_in_flight_requests{service} gauge;
+//   - panic recovery: a panicking handler produces a 500 (when nothing was
+//     written yet) and an http_panics_total{service} increment instead of a
+//     dead connection;
+//   - request-ID propagation: an incoming traceparent header is honoured,
+//     otherwise a fresh ID is minted; either way the ID is stored in the
+//     request context (RequestIDFromContext) and echoed on the response;
+//   - a structured slog access-log record per request, carrying the trace ID
+//     so one scrape can be followed from client to server logs.
+//
+// The route label comes from the ServeMux pattern that matched (bounded
+// cardinality even for parameterised routes like /crl/{ca}); unmatched
+// requests are labelled "unmatched".
+func Middleware(reg *Registry, service string, next http.Handler) http.Handler {
+	if reg == nil {
+		reg = Default()
+	}
+	inFlight := reg.Gauge("http_in_flight_requests", "service", service)
+	panics := reg.Counter("http_panics_total", "service", service)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id, ok := ParseTraceparent(r.Header.Get(TraceHeader))
+		if !ok {
+			id = NewRequestID()
+		}
+		r = r.WithContext(ContextWithRequestID(r.Context(), id))
+		w.Header().Set(TraceHeader, id.String())
+
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		inFlight.Add(1)
+		defer func() {
+			inFlight.Add(-1)
+			if rec := recover(); rec != nil {
+				panics.Inc()
+				if !sw.wrote {
+					http.Error(sw.ResponseWriter, "internal server error", http.StatusInternalServerError)
+				}
+				sw.status = http.StatusInternalServerError
+				slog.Error("handler panic", "service", service, "method", r.Method,
+					"path", r.URL.Path, "request_id", id.Trace(),
+					"panic", rec, "stack", string(debug.Stack()))
+			}
+			route := routeLabel(r)
+			code := statusClass(sw.status)
+			reg.Counter("http_requests_total", "service", service, "route", route, "code", code).Inc()
+			reg.Histogram("http_request_seconds", nil, "service", service, "route", route).
+				Observe(time.Since(start).Seconds())
+			slog.Info("http request", "service", service, "method", r.Method,
+				"route", route, "path", r.URL.Path, "status", sw.status,
+				"bytes", sw.bytes, "duration_ms", float64(time.Since(start).Microseconds())/1000,
+				"remote", r.RemoteAddr, "request_id", id.Trace())
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// routeLabel derives the metrics route label for a finished request. The
+// inner ServeMux records the matched pattern on the request it was handed, so
+// reading it after ServeHTTP sees patterns like "GET /crl/{ca}".
+func routeLabel(r *http.Request) string {
+	p := r.Pattern
+	if p == "" {
+		return "unmatched"
+	}
+	if i := strings.IndexByte(p, ' '); i >= 0 {
+		p = p[i+1:]
+	}
+	if p == "" {
+		return "unmatched"
+	}
+	return p
+}
+
+// statusClass buckets a status code as "2xx", "4xx", ... for metric labels.
+func statusClass(code int) string {
+	if code < 100 || code > 599 {
+		return "other"
+	}
+	return strconv.Itoa(code/100) + "xx"
+}
+
+// statusWriter captures the status code and body size written by a handler.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.status = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer when it supports flushing, so
+// streaming handlers keep working behind the middleware.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+)
+
+// TraceHeader is the HTTP header carrying the request ID between services,
+// in the W3C Trace Context "traceparent" layout:
+//
+//	00-<32 hex trace id>-<16 hex span id>-01
+//
+// The trace ID is the correlation key: every hop of one logical operation
+// (scrape -> get-sth -> get-entries) logs the same trace, while each hop
+// mints its own span ID.
+const TraceHeader = "traceparent"
+
+// RequestID identifies one logical request across service boundaries.
+type RequestID struct {
+	TraceID [16]byte
+	SpanID  [8]byte
+}
+
+// NewRequestID mints a random request ID.
+func NewRequestID() RequestID {
+	var id RequestID
+	_, _ = rand.Read(id.TraceID[:])
+	_, _ = rand.Read(id.SpanID[:])
+	return id
+}
+
+// IsZero reports whether the ID is unset.
+func (id RequestID) IsZero() bool { return id.TraceID == [16]byte{} }
+
+// String renders the traceparent header value.
+func (id RequestID) String() string {
+	b := make([]byte, 0, 55)
+	b = append(b, "00-"...)
+	b = hex.AppendEncode(b, id.TraceID[:])
+	b = append(b, '-')
+	b = hex.AppendEncode(b, id.SpanID[:])
+	b = append(b, "-01"...)
+	return string(b)
+}
+
+// Trace returns the hex trace ID — the value access logs record.
+func (id RequestID) Trace() string { return hex.EncodeToString(id.TraceID[:]) }
+
+// Child returns the ID with a fresh span ID, for an outgoing hop that stays
+// inside the same trace.
+func (id RequestID) Child() RequestID {
+	_, _ = rand.Read(id.SpanID[:])
+	return id
+}
+
+// ParseTraceparent decodes a traceparent header value. It accepts any
+// two-hex-digit version and requires a non-zero trace ID.
+func ParseTraceparent(h string) (RequestID, bool) {
+	var id RequestID
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return id, false
+	}
+	if !isHex(h[:2]) || !isHex(h[53:55]) {
+		return id, false
+	}
+	if _, err := hex.Decode(id.TraceID[:], []byte(h[3:35])); err != nil {
+		return RequestID{}, false
+	}
+	if _, err := hex.Decode(id.SpanID[:], []byte(h[36:52])); err != nil {
+		return RequestID{}, false
+	}
+	if id.IsZero() {
+		return RequestID{}, false
+	}
+	return id, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f' || 'A' <= c && c <= 'F') {
+			return false
+		}
+	}
+	return true
+}
+
+type requestIDKey struct{}
+
+// ContextWithRequestID returns ctx carrying the request ID.
+func ContextWithRequestID(ctx context.Context, id RequestID) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFromContext extracts the request ID placed by Middleware or
+// ContextWithRequestID; ok is false when none is set.
+func RequestIDFromContext(ctx context.Context) (RequestID, bool) {
+	id, ok := ctx.Value(requestIDKey{}).(RequestID)
+	return id, ok
+}
+
+// RequestIDFromRequest is a convenience for handlers below a Middleware.
+func RequestIDFromRequest(r *http.Request) (RequestID, bool) {
+	return RequestIDFromContext(r.Context())
+}

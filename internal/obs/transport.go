@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// Transport is an instrumented http.RoundTripper for outbound calls: it
+// propagates the request ID from the context (minting one when the caller has
+// none) via the traceparent header with a fresh span ID per hop, records
+// per-peer latency and outcome metrics, and emits a debug-level slog record
+// per call carrying the trace ID for client/server log correlation.
+//
+// Metrics (peer is the target host:port):
+//
+//	http_client_requests_total{service,peer,code}   code: 2xx..5xx or "error"
+//	http_client_request_seconds{service,peer}
+//
+// The zero value is not usable; set Service. Base and Registry default to
+// http.DefaultTransport and Default().
+type Transport struct {
+	Base     http.RoundTripper
+	Registry *Registry
+	Service  string
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	reg := t.Registry
+	if reg == nil {
+		reg = Default()
+	}
+	id, ok := RequestIDFromContext(req.Context())
+	if ok {
+		id = id.Child()
+	} else {
+		id = NewRequestID()
+	}
+	// RoundTrippers must not mutate the caller's request.
+	req = req.Clone(req.Context())
+	req.Header.Set(TraceHeader, id.String())
+
+	peer := req.URL.Host
+	start := time.Now()
+	resp, err := base.RoundTrip(req)
+	elapsed := time.Since(start)
+
+	code := "error"
+	status := 0
+	if err == nil {
+		code = statusClass(resp.StatusCode)
+		status = resp.StatusCode
+	}
+	reg.Counter("http_client_requests_total", "service", t.Service, "peer", peer, "code", code).Inc()
+	reg.Histogram("http_client_request_seconds", nil, "service", t.Service, "peer", peer).
+		Observe(elapsed.Seconds())
+	slog.Debug("http request", "service", t.Service, "direction", "client",
+		"method", req.Method, "peer", peer, "path", req.URL.Path, "status", status,
+		"err", err, "duration_ms", float64(elapsed.Microseconds())/1000,
+		"request_id", id.Trace())
+	return resp, err
+}
+
+// NewHTTPClient returns an http.Client whose transport is instrumented for
+// the named service against the given registry (nil for Default()).
+func NewHTTPClient(reg *Registry, service string) *http.Client {
+	return &http.Client{Transport: &Transport{Registry: reg, Service: service}}
+}
+
+// InstrumentClient wraps hc's transport (http.DefaultClient semantics when hc
+// is nil) with an instrumented Transport on the Default registry. Packages
+// use it to give their "nil means default client" constructors per-peer
+// metrics without changing signatures.
+func InstrumentClient(hc *http.Client, service string) *http.Client {
+	if hc == nil {
+		return NewHTTPClient(nil, service)
+	}
+	if _, ok := hc.Transport.(*Transport); ok {
+		return hc // already instrumented
+	}
+	wrapped := *hc
+	wrapped.Transport = &Transport{Base: hc.Transport, Service: service}
+	return &wrapped
+}

@@ -1,6 +1,7 @@
 package revcheck
 
 import (
+	"context"
 	"encoding/binary"
 
 	"stalecert/internal/crl"
@@ -14,7 +15,7 @@ import (
 // attacker cannot turn it into a soft-fail bypass, which is why the paper
 // names CRLite-style designs as the path to effective revocation (§7.2).
 func CRLiteChecker(filter *crlite.Filter) Checker {
-	return CheckerFunc(func(cert *x509sim.Certificate, _ simtime.Day) (Status, crl.Reason, error) {
+	return CheckerFunc(func(_ context.Context, cert *x509sim.Certificate, _ simtime.Day) (Status, crl.Reason, error) {
 		if filter.IsRevoked(dedupKeyBytes(cert)) {
 			return StatusRevoked, crl.Unspecified, nil
 		}

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"stalecert/internal/crl"
+	"stalecert/internal/obs"
 	"stalecert/internal/simtime"
 	"stalecert/internal/x509sim"
 )
@@ -82,6 +83,12 @@ func UnmarshalOCSPResponse(b []byte) (OCSPResponse, error) {
 	}, nil
 }
 
+// Responder-side metrics, labelled by the status answered (or "malformed"
+// for undecodable requests).
+func ocspRequestCounter(status string) *obs.Counter {
+	return obs.Default().Counter("ocsp_requests_total", "status", status)
+}
+
 // OCSPResponder serves status queries over HTTP POST /ocsp, backed by the
 // issuing CAs' revocation authorities.
 type OCSPResponder struct {
@@ -98,11 +105,13 @@ func (o *OCSPResponder) Handler() http.Handler {
 	mux.HandleFunc("POST /ocsp", func(w http.ResponseWriter, r *http.Request) {
 		raw, err := io.ReadAll(io.LimitReader(r.Body, 64))
 		if err != nil {
+			ocspRequestCounter("malformed").Inc()
 			http.Error(w, "read error", http.StatusBadRequest)
 			return
 		}
 		key, err := UnmarshalOCSPRequest(raw)
 		if err != nil {
+			ocspRequestCounter("malformed").Inc()
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
@@ -115,25 +124,26 @@ func (o *OCSPResponder) Handler() http.Handler {
 			resp.Reason = e.Reason
 			resp.RevokedAt = e.RevokedAt
 		}
+		ocspRequestCounter(resp.Status.String()).Inc()
 		w.Header().Set("Content-Type", "application/ocsp-response")
 		_, _ = w.Write(MarshalOCSPResponse(resp))
 	})
 	return mux
 }
 
-// OCSPChecker queries a responder over HTTP, implementing Checker.
+// OCSPChecker queries a responder over HTTP, implementing Checker. With a
+// nil HC the default client is wrapped in an obs.Transport, giving every
+// status query per-peer latency/outcome metrics and request-ID propagation.
 type OCSPChecker struct {
 	URL string // responder base URL
 	HC  *http.Client
 }
 
-// Check implements Checker.
-func (c *OCSPChecker) Check(cert *x509sim.Certificate, _ simtime.Day) (Status, crl.Reason, error) {
-	hc := c.HC
-	if hc == nil {
-		hc = http.DefaultClient
-	}
-	req, err := http.NewRequestWithContext(context.Background(), http.MethodPost,
+// Check implements Checker. The caller's context bounds the HTTP round trip:
+// a canceled context aborts the check immediately.
+func (c *OCSPChecker) Check(ctx context.Context, cert *x509sim.Certificate, _ simtime.Day) (Status, crl.Reason, error) {
+	hc := obs.InstrumentClient(c.HC, "ocsp-checker")
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		c.URL+"/ocsp", bytes.NewReader(MarshalOCSPRequest(cert.DedupKey())))
 	if err != nil {
 		return StatusUnavailable, 0, err

@@ -8,6 +8,7 @@
 package revcheck
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -39,17 +40,19 @@ func (s Status) String() string {
 	return "status?"
 }
 
-// Checker answers revocation queries for certificates.
+// Checker answers revocation queries for certificates. The context bounds
+// any network lookup the checker performs (OCSP, CRL fetch); a canceled
+// context aborts the check.
 type Checker interface {
-	Check(cert *x509sim.Certificate, now simtime.Day) (Status, crl.Reason, error)
+	Check(ctx context.Context, cert *x509sim.Certificate, now simtime.Day) (Status, crl.Reason, error)
 }
 
 // CheckerFunc adapts a function to Checker.
-type CheckerFunc func(cert *x509sim.Certificate, now simtime.Day) (Status, crl.Reason, error)
+type CheckerFunc func(ctx context.Context, cert *x509sim.Certificate, now simtime.Day) (Status, crl.Reason, error)
 
 // Check implements Checker.
-func (f CheckerFunc) Check(cert *x509sim.Certificate, now simtime.Day) (Status, crl.Reason, error) {
-	return f(cert, now)
+func (f CheckerFunc) Check(ctx context.Context, cert *x509sim.Certificate, now simtime.Day) (Status, crl.Reason, error) {
+	return f(ctx, cert, now)
 }
 
 // CRLChecker consults per-issuer authorities, as a client that downloaded
@@ -60,7 +63,7 @@ type CRLChecker struct {
 }
 
 // Check implements Checker.
-func (c *CRLChecker) Check(cert *x509sim.Certificate, now simtime.Day) (Status, crl.Reason, error) {
+func (c *CRLChecker) Check(_ context.Context, cert *x509sim.Certificate, now simtime.Day) (Status, crl.Reason, error) {
 	a, ok := c.Authorities[cert.Issuer]
 	if !ok {
 		return StatusUnavailable, 0, fmt.Errorf("revcheck: no CRL for issuer %d", cert.Issuer)
@@ -78,7 +81,7 @@ var ErrBlocked = errors.New("revcheck: revocation traffic blocked")
 // revocation traffic — the paper's TLS-interception threat model, where
 // soft-fail policies are defeated by simply blackholing OCSP/CRL fetches.
 func Intercepted(inner Checker) Checker {
-	return CheckerFunc(func(cert *x509sim.Certificate, now simtime.Day) (Status, crl.Reason, error) {
+	return CheckerFunc(func(context.Context, *x509sim.Certificate, simtime.Day) (Status, crl.Reason, error) {
 		return StatusUnavailable, 0, ErrBlocked
 	})
 }
@@ -130,11 +133,11 @@ type Decision struct {
 
 // Evaluate runs a profile's revocation logic for a certificate. mustStaple
 // marks certificates carrying the OCSP must-staple extension.
-func (p Profile) Evaluate(cert *x509sim.Certificate, now simtime.Day, checker Checker, mustStaple bool) Decision {
+func (p Profile) Evaluate(ctx context.Context, cert *x509sim.Certificate, now simtime.Day, checker Checker, mustStaple bool) Decision {
 	if !p.ChecksRevocation {
 		return Decision{Accepted: true}
 	}
-	status, _, err := checker.Check(cert, now)
+	status, _, err := checker.Check(ctx, cert, now)
 	if err != nil || status == StatusUnavailable {
 		if p.FailMode == HardFail || (mustStaple && p.HonorsMustStaple) {
 			return Decision{Accepted: false, Checked: true, Status: StatusUnavailable}
@@ -161,17 +164,17 @@ type EffectivenessRow struct {
 // MeasureEffectiveness evaluates every profile against a set of revoked
 // certificates, with and without an interceptor, reproducing the paper's
 // argument that revocation is "absent or easily circumvented".
-func MeasureEffectiveness(certs []*x509sim.Certificate, now simtime.Day, checker Checker, mustStaple func(*x509sim.Certificate) bool) []EffectivenessRow {
+func MeasureEffectiveness(ctx context.Context, certs []*x509sim.Certificate, now simtime.Day, checker Checker, mustStaple func(*x509sim.Certificate) bool) []EffectivenessRow {
 	blocked := Intercepted(checker)
 	rows := make([]EffectivenessRow, 0, len(Profiles()))
 	for _, p := range Profiles() {
 		row := EffectivenessRow{Profile: p, Total: len(certs)}
 		for _, cert := range certs {
 			ms := mustStaple != nil && mustStaple(cert)
-			if p.Evaluate(cert, now, checker, ms).Accepted {
+			if p.Evaluate(ctx, cert, now, checker, ms).Accepted {
 				row.AcceptedDirect++
 			}
-			if p.Evaluate(cert, now, blocked, ms).Accepted {
+			if p.Evaluate(ctx, cert, now, blocked, ms).Accepted {
 				row.AcceptedIntercepted++
 			}
 		}

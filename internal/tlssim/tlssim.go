@@ -16,6 +16,7 @@
 package tlssim
 
 import (
+	"context"
 	"crypto/hmac"
 	"crypto/rand"
 	"crypto/sha256"
@@ -156,6 +157,9 @@ func keyProof(secret [32]byte, nonce [32]byte, cert *x509sim.Certificate) [32]by
 type ClientConfig struct {
 	ServerName string
 	Now        simtime.Day
+	// Context bounds the revocation lookup the handshake performs; nil means
+	// context.Background().
+	Context context.Context
 	// TrustedIssuers is the client's root store; nil trusts every issuer.
 	TrustedIssuers map[x509sim.IssuerID]bool
 	// Profile and Checker drive revocation checking; the zero Profile never
@@ -247,12 +251,16 @@ func verify(cert *x509sim.Certificate, mac, nonce [32]byte, cfg ClientConfig, in
 		if checker == nil {
 			// Checking profile with no configured checker: status is
 			// unavailable, so the profile's fail mode decides.
-			checker = revcheck.CheckerFunc(func(*x509sim.Certificate, simtime.Day) (revcheck.Status, crl.Reason, error) {
+			checker = revcheck.CheckerFunc(func(context.Context, *x509sim.Certificate, simtime.Day) (revcheck.Status, crl.Reason, error) {
 				return revcheck.StatusUnavailable, 0, errors.New("tlssim: no revocation checker configured")
 			})
 		}
+		ctx := cfg.Context
+		if ctx == nil {
+			ctx = context.Background()
+		}
 		ms := cfg.MustStaple != nil && cfg.MustStaple(cert)
-		d := cfg.Profile.Evaluate(cert, cfg.Now, checker, ms)
+		d := cfg.Profile.Evaluate(ctx, cert, cfg.Now, checker, ms)
 		info.RevocationDecision = d
 		if !d.Accepted {
 			return ErrRevoked

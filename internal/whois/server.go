@@ -71,6 +71,20 @@ func (s *Server) Close() error {
 	return err
 }
 
+// Shutdown closes the listener and waits for in-flight connections like
+// Close, but gives up waiting (the listener stays closed) when ctx expires —
+// the net/http-style graceful drain for the port-43 surface.
+func (s *Server) Shutdown(ctx context.Context) error {
+	done := make(chan error, 1)
+	go func() { done <- s.Close() }()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 func (s *Server) acceptLoop(ln net.Listener) {
 	defer s.wg.Done()
 	for {
