@@ -1,0 +1,241 @@
+// Command staleapid serves staleness queries over a persistent certificate
+// store. It tails a CT log (cmd/ctlogd or any RFC 6962-style log) into an
+// on-disk certstore from a persisted checkpoint — restarts resume instead of
+// re-scraping — and answers:
+//
+//	GET /v1/cert/{fp}                  one certificate by fingerprint
+//	                                   (64-hex full or 16-hex short form)
+//	GET /v1/domain/{e2ld}/certs        every certificate naming the e2LD
+//	GET /v1/domain/{e2ld}/staleness    the three detectors' per-domain
+//	                                   verdict against live evidence
+//	GET /healthz, /readyz              liveness; readiness = checkpoint
+//	                                   loaded AND ingester caught up
+//
+// Staleness evidence comes from the same sources the live monitor uses:
+// WHOIS (registrant change), authoritative DNS (managed-TLS departure) and
+// CRLs (revocation); any source left unconfigured disables its check.
+//
+// Usage:
+//
+//	staleapid -store /var/lib/stalecert [-addr :8786] [-log http://127.0.0.1:8784]
+//	          [-interval 5s] [-lag-threshold 0] [-whois 127.0.0.1:4343]
+//	          [-dns 127.0.0.1:5353] [-crl http://127.0.0.1:8785]
+//	          [-now 2023-01-01] [-marker cloudflaressl.com]
+//	          [-cache-entries 1024] [-cache-ttl 5s] [-debug-addr 127.0.0.1:0]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"stalecert/internal/ca"
+	"stalecert/internal/certstore"
+	"stalecert/internal/core"
+	"stalecert/internal/crl"
+	"stalecert/internal/ctlog"
+	"stalecert/internal/dnsname"
+	"stalecert/internal/dnssim"
+	"stalecert/internal/monitor"
+	"stalecert/internal/obs"
+	"stalecert/internal/simtime"
+	"stalecert/internal/staleapi"
+	"stalecert/internal/whois"
+	"stalecert/internal/x509sim"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8786", "API listen address")
+	storeDir := flag.String("store", "", "certificate store directory (required)")
+	logURL := flag.String("log", "http://127.0.0.1:8784", "CT log base URL to tail")
+	interval := flag.Duration("interval", 5*time.Second, "ingest sync interval")
+	lagThreshold := flag.Uint64("lag-threshold", 0, "max entries behind the log head to count as ready")
+	shards := flag.Int("shards", 0, "index shard count (0 = auto)")
+	whoisAddr := flag.String("whois", "", "WHOIS server for registrant-change evidence (empty disables)")
+	dnsAddr := flag.String("dns", "", "authoritative DNS for departure evidence (empty disables)")
+	crlURL := flag.String("crl", "", "CRL server base URL for revocation evidence (empty disables)")
+	now := flag.String("now", "2023-01-01", "evaluation day")
+	marker := flag.String("marker", "cloudflaressl.com", "managed-TLS marker SAN suffix")
+	cacheEntries := flag.Int("cache-entries", 1024, "staleness cache capacity")
+	cacheTTL := flag.Duration("cache-ttl", 5*time.Second, "staleness cache TTL")
+	obsFlags := obs.BindFlags(flag.CommandLine)
+	flag.Parse()
+
+	logger, stopDebug := obsFlags.Setup("staleapid")
+	if *storeDir == "" {
+		logger.Error("missing required -store directory")
+		os.Exit(2)
+	}
+	nowDay, err := simtime.Parse(*now)
+	if err != nil {
+		logger.Error("bad -now", "err", err)
+		os.Exit(2)
+	}
+
+	// Readiness: the store (and its checkpoint, if any) must be loaded, and
+	// the ingester must have synced to within -lag-threshold of the log
+	// head. Served on both the API listener and the debug listener.
+	cpReady := obs.NewReady("store not opened")
+	caughtUp := obs.NewReady("ingester has not completed a sync")
+	obs.DefaultHealth().Register("store-checkpoint", cpReady.Probe)
+	obs.DefaultHealth().Register("ingest-caught-up", caughtUp.Probe)
+
+	store, err := certstore.Open(certstore.Options{Dir: *storeDir, Shards: *shards})
+	if err != nil {
+		logger.Error("open store", "dir", *storeDir, "err", err)
+		os.Exit(1)
+	}
+	defer store.Close()
+	cpReady.OK()
+	if cp, ok := store.Checkpoint(); ok {
+		logger.Info("store opened", "dir", *storeDir, "certs", store.Len(),
+			"segments", store.SegmentCount(), "resume_index", cp.NextIndex)
+	} else {
+		logger.Info("store opened (fresh)", "dir", *storeDir, "certs", store.Len(),
+			"segments", store.SegmentCount())
+	}
+
+	ing := certstore.NewIngester(store, ctlog.NewClient(*logURL, nil))
+	srv := staleapi.NewServer(staleapi.Config{
+		Store:        store,
+		Evidence:     liveEvidence(*whoisAddr, *dnsAddr, *crlURL, *marker, nowDay),
+		Now:          func() simtime.Day { return nowDay },
+		CacheEntries: *cacheEntries,
+		CacheTTL:     *cacheTTL,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go ing.Run(ctx, *interval, func(added int, err error) {
+		switch {
+		case err != nil:
+			logger.Error("ingest sync failed", "err", err)
+			caughtUp.Fail(fmt.Errorf("last sync failed: %w", err))
+		case ing.Lag() > *lagThreshold:
+			caughtUp.Fail(fmt.Errorf("ingest lag %d entries exceeds threshold %d", ing.Lag(), *lagThreshold))
+		default:
+			if added > 0 {
+				logger.Info("ingested", "added", added, "total", store.Len())
+			}
+			caughtUp.OK()
+		}
+	})
+
+	handler := obs.Middleware(obs.Default(), "staleapid", srv.Handler())
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
+	logger.Info("serving staleness API", "addr", *addr, "log", *logURL)
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("server failed", "err", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		logger.Info("shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			logger.Error("shutdown", "err", err)
+		}
+		_ = stopDebug(sctx)
+	}
+}
+
+// liveEvidence builds the per-domain evidence gatherer from the configured
+// sources, mirroring the live monitor's checks: a WHOIS creation date
+// becomes a registrant-change event, a missing provider delegation becomes a
+// departure on the evaluation day, and the CA directory's CRLs supply
+// revocations. The shared core.DomainStaleness then applies the batch
+// pipelines' filters, so the API's verdicts match staled's.
+func liveEvidence(whoisAddr, dnsAddr, crlURL, marker string, now simtime.Day) staleapi.EvidenceFunc {
+	var resolver *dnssim.Resolver
+	if dnsAddr != "" {
+		resolver = &dnssim.Resolver{ServerAddr: dnsAddr, Timeout: 2 * time.Second}
+	}
+	isProviderRecord := func(r dnssim.Record) bool {
+		switch r.Type {
+		case dnssim.TypeNS:
+			return dnsname.IsSubdomain(r.Data, "ns.cloudflare.com")
+		case dnssim.TypeCNAME:
+			return dnsname.IsSubdomain(r.Data, "cdn.cloudflare.com")
+		}
+		return false
+	}
+	var crlNames []string
+	if crlURL != "" {
+		for _, p := range ca.NewDirectory().All() {
+			crlNames = append(crlNames, p.Name)
+		}
+	}
+	return func(ctx context.Context, domain string) (core.DomainEvidence, error) {
+		ev := core.DomainEvidence{
+			RevocationCutoff: simtime.NoDay,
+			IsManaged: func(c *x509sim.Certificate) bool {
+				return monitor.HasProviderMarker(c, marker)
+			},
+		}
+		if whoisAddr != "" {
+			rec, err := whois.Query(ctx, whoisAddr, domain)
+			switch {
+			case err == nil:
+				ev.ReRegistrations = append(ev.ReRegistrations,
+					whois.ReRegistration{Domain: domain, NewCreation: rec.Created})
+			case err != whois.ErrNoMatch:
+				return ev, fmt.Errorf("whois %s: %w", domain, err)
+			}
+		}
+		if crlURL != "" {
+			fetcher := &crl.Fetcher{Base: crlURL}
+			lists, err := fetcher.FetchAll(ctx, crlNames)
+			if err != nil {
+				return ev, fmt.Errorf("crl fetch: %w", err)
+			}
+			for _, l := range lists {
+				ev.Revocations = append(ev.Revocations, l.Entries...)
+			}
+		}
+		if resolver != nil {
+			delegated, err := providerDelegated(ctx, resolver, isProviderRecord, domain)
+			if err != nil {
+				return ev, err
+			}
+			if !delegated {
+				ev.Departures = append(ev.Departures,
+					dnssim.Departure{Domain: domain, LastSeen: now - 1, FirstGone: now})
+			}
+		}
+		return ev, nil
+	}
+}
+
+// providerDelegated mirrors the live monitor's delegation check: apex NS or
+// www CNAME pointing at the provider.
+func providerDelegated(ctx context.Context, resolver *dnssim.Resolver, isProvider func(dnssim.Record) bool, domain string) (bool, error) {
+	for _, q := range []struct {
+		name string
+		typ  dnssim.RRType
+	}{{domain, dnssim.TypeNS}, {"www." + domain, dnssim.TypeCNAME}} {
+		recs, err := resolver.Query(ctx, q.name, q.typ)
+		if err != nil {
+			var nx *dnssim.NXDomainError
+			if errors.As(err, &nx) {
+				continue
+			}
+			return false, fmt.Errorf("dns %s %v: %w", q.name, q.typ, err)
+		}
+		for _, r := range recs {
+			if isProvider(r) {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}

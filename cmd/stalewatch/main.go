@@ -7,13 +7,18 @@
 //
 //	stalewatch -log http://127.0.0.1:8784 [-whois 127.0.0.1:4343] [-dns 127.0.0.1:5353]
 //	           [-crl http://127.0.0.1:8785] [-domains a.com,b.com] [-interval 10s] [-once]
+//	           [-jsonl] [-store DIR]
 //
 // Point it at cmd/ctlogd, cmd/whoisd, cmd/dnsscand and cmd/crld instances
-// (or real deployments of the same protocols).
+// (or real deployments of the same protocols). With -jsonl every alert is
+// emitted as one JSON line for machine consumption. With -store the watcher
+// persists everything it polls into a certstore and resumes from its
+// checkpoint on restart — the same store staleapid serves queries from.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +28,7 @@ import (
 	"time"
 
 	"stalecert/internal/ca"
+	"stalecert/internal/certstore"
 	"stalecert/internal/crl"
 	"stalecert/internal/ctlog"
 	"stalecert/internal/dnsname"
@@ -34,6 +40,19 @@ import (
 	"stalecert/internal/x509sim"
 )
 
+// alertLine is the -jsonl wire form of one alert.
+type alertLine struct {
+	Kind        string   `json:"kind"`
+	Domain      string   `json:"domain"`
+	Fingerprint string   `json:"fingerprint"`
+	Serial      uint64   `json:"serial"`
+	Issuer      uint16   `json:"issuer"`
+	Names       []string `json:"names"`
+	NotAfter    string   `json:"not_after"`
+	Entry       uint64   `json:"entry"`
+	Detail      string   `json:"detail"`
+}
+
 func main() {
 	logURL := flag.String("log", "http://127.0.0.1:8784", "CT log base URL")
 	whoisAddr := flag.String("whois", "", "WHOIS server address (empty disables the registrant-change check)")
@@ -44,6 +63,8 @@ func main() {
 	once := flag.Bool("once", false, "poll once and exit")
 	now := flag.String("now", "2023-01-01", "evaluation day")
 	marker := flag.String("marker", "cloudflaressl.com", "managed-TLS marker SAN suffix")
+	jsonl := flag.Bool("jsonl", false, "emit alerts as JSON lines")
+	storeDir := flag.String("store", "", "persist polled entries into a certstore at this directory and resume from its checkpoint")
 	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -65,7 +86,19 @@ func main() {
 	if *domains != "" {
 		watch = strings.Split(*domains, ",")
 	}
-	watcher := monitor.NewCTWatcher(client, watch...)
+	var watcher *monitor.CTWatcher
+	if *storeDir != "" {
+		store, err := certstore.Open(certstore.Options{Dir: *storeDir})
+		if err != nil {
+			logger.Error("open store", "dir", *storeDir, "err", err)
+			os.Exit(1)
+		}
+		defer store.Close()
+		watcher = monitor.NewCTWatcherWithSink(client, certstore.NewIngester(store, client), watch...)
+		logger.Info("persisting to store", "dir", *storeDir, "certs", store.Len(), "resume_index", watcher.NextIndex())
+	} else {
+		watcher = monitor.NewCTWatcher(client, watch...)
+	}
 
 	ev := &monitor.Evaluator{Now: nowDay, WhoisAddr: *whoisAddr, MarkerSuffix: *marker}
 	if *dnsAddr != "" {
@@ -98,10 +131,29 @@ func main() {
 				continue
 			}
 			for _, a := range alerts {
+				if *jsonl {
+					line, err := json.Marshal(alertLine{
+						Kind:        a.Kind.String(),
+						Domain:      a.Domain,
+						Fingerprint: a.Cert.Fingerprint().Hex(),
+						Serial:      uint64(a.Cert.Serial),
+						Issuer:      uint16(a.Cert.Issuer),
+						Names:       a.Cert.Names,
+						NotAfter:    a.Cert.NotAfter.String(),
+						Entry:       hit.Entry.Index,
+						Detail:      a.Detail,
+					})
+					if err != nil {
+						logger.Error("encode alert", "err", err)
+						continue
+					}
+					fmt.Println(string(line))
+					continue
+				}
 				fmt.Printf("ALERT %-22s %-20s serial=%d issuer=%d: %s\n",
 					a.Kind, a.Domain, a.Cert.Serial, a.Cert.Issuer, a.Detail)
 			}
-			if len(alerts) == 0 {
+			if len(alerts) == 0 && !*jsonl {
 				fmt.Printf("ok    entry=%d domains=%v names=%v\n", hit.Entry.Index, hit.Domains, hit.Entry.Cert.Names)
 			}
 		}

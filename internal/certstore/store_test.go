@@ -1,0 +1,277 @@
+package certstore
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"stalecert/internal/core"
+	"stalecert/internal/simtime"
+	"stalecert/internal/x509sim"
+)
+
+func mkCert(t testing.TB, serial uint64, names []string, nb, na simtime.Day) *x509sim.Certificate {
+	t.Helper()
+	c, err := x509sim.New(x509sim.SerialNumber(serial), x509sim.IssuerID(serial%5+1), x509sim.KeyID(serial), names, nb, na)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func openTemp(t testing.TB, opts Options) *Store {
+	t.Helper()
+	if opts.Dir == "" {
+		opts.Dir = t.TempDir()
+	}
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestStoreAppendAndLookups(t *testing.T) {
+	s := openTemp(t, Options{Shards: 8})
+	certs := []*x509sim.Certificate{
+		mkCert(t, 1, []string{"a.example.com", "b.example.com"}, 0, 100),
+		mkCert(t, 2, []string{"example.org", "*.example.org"}, 10, 200),
+		mkCert(t, 3, []string{"example.org"}, 20, 120),
+	}
+	added, err := s.Append(certs)
+	if err != nil || added != 3 {
+		t.Fatalf("Append = %d, %v", added, err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+
+	// Fingerprint dedup, including precert/final-cert pairing: a precert
+	// differs only in CT components, so it shares the fingerprint.
+	pre := certs[0].Clone()
+	pre.Precert = true
+	pre.SCTCount = 2
+	added, err = s.Append([]*x509sim.Certificate{pre, certs[1]})
+	if err != nil || added != 0 {
+		t.Fatalf("dedup Append = %d, %v", added, err)
+	}
+
+	if c, ok := s.ByFingerprint(certs[0].Fingerprint()); !ok || c.Serial != 1 {
+		t.Fatalf("ByFingerprint = %v %v", c, ok)
+	}
+	var prefix [8]byte
+	fp := certs[1].Fingerprint()
+	copy(prefix[:], fp[:8])
+	if c, ok := s.ByShortFingerprint(prefix); !ok || c.Serial != 2 {
+		t.Fatalf("ByShortFingerprint = %v %v", c, ok)
+	}
+	if c, ok := s.ByKey(certs[2].DedupKey()); !ok || c.Serial != 3 {
+		t.Fatalf("ByKey = %v %v", c, ok)
+	}
+	if got := s.ByE2LD("example.org"); len(got) != 2 {
+		t.Fatalf("ByE2LD(example.org) = %d certs", len(got))
+	}
+	if got := s.ByE2LD("example.com"); len(got) != 1 || got[0].Serial != 1 {
+		t.Fatalf("ByE2LD(example.com) = %v", got)
+	}
+	if got := s.ByE2LD("nothing.net"); got != nil {
+		t.Fatalf("ByE2LD(miss) = %v", got)
+	}
+	if got := s.BySPKI(2); len(got) != 1 || got[0].Serial != 2 {
+		t.Fatalf("BySPKI = %v", got)
+	}
+}
+
+func TestStoreByE2LDDefensiveCopy(t *testing.T) {
+	s := openTemp(t, Options{})
+	s.Append([]*x509sim.Certificate{
+		mkCert(t, 1, []string{"a.dom.com"}, 0, 100),
+		mkCert(t, 2, []string{"b.dom.com"}, 0, 100),
+	})
+	got := s.ByE2LD("dom.com")
+	got[0], got[1] = nil, nil // caller scribbles over its copy
+	again := s.ByE2LD("dom.com")
+	if len(again) != 2 || again[0] == nil || again[1] == nil {
+		t.Fatalf("index corrupted by caller mutation: %v", again)
+	}
+}
+
+func TestStoreReopenRestoresEverything(t *testing.T) {
+	dir := t.TempDir()
+	s := openTemp(t, Options{Dir: dir})
+	var want []*x509sim.Certificate
+	for i := uint64(1); i <= 20; i++ {
+		want = append(want, mkCert(t, i, []string{"site.example.com"}, 0, 500))
+	}
+	if _, err := s.Append(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetCheckpoint(Checkpoint{LogName: "l", NextIndex: 20, STHSize: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openTemp(t, Options{Dir: dir})
+	if re.Len() != 20 {
+		t.Fatalf("reopened Len = %d", re.Len())
+	}
+	for _, c := range want {
+		if _, ok := re.ByFingerprint(c.Fingerprint()); !ok {
+			t.Fatalf("lost cert %v after reopen", c)
+		}
+	}
+	cp, ok := re.Checkpoint()
+	if !ok || cp.NextIndex != 20 || cp.LogName != "l" {
+		t.Fatalf("checkpoint = %+v %v", cp, ok)
+	}
+	// Appends keep working after reopen, and dedup spans the restart.
+	added, err := re.Append(want[:5])
+	if err != nil || added != 0 {
+		t.Fatalf("post-reopen dedup Append = %d, %v", added, err)
+	}
+}
+
+func TestStoreRecoversTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s := openTemp(t, Options{Dir: dir})
+	s.Append([]*x509sim.Certificate{
+		mkCert(t, 1, []string{"x.com"}, 0, 10),
+		mkCert(t, 2, []string{"y.com"}, 0, 10),
+	})
+	s.Close()
+
+	// Simulate a crash mid-append: a record header promising more bytes
+	// than were written.
+	active := filepath.Join(dir, segmentFileName(0))
+	f, err := os.OpenFile(active, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x00, 0x00, 0x01, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re := openTemp(t, Options{Dir: dir})
+	if re.Len() != 2 {
+		t.Fatalf("recovered Len = %d, want 2", re.Len())
+	}
+	// The torn bytes must be gone so future appends start clean.
+	added, err := re.Append([]*x509sim.Certificate{mkCert(t, 3, []string{"z.com"}, 0, 10)})
+	if err != nil || added != 1 {
+		t.Fatalf("post-recovery Append = %d, %v", added, err)
+	}
+	re.Close()
+	re2 := openTemp(t, Options{Dir: dir})
+	if re2.Len() != 3 {
+		t.Fatalf("second reopen Len = %d, want 3", re2.Len())
+	}
+}
+
+func TestStoreSealsSegments(t *testing.T) {
+	dir := t.TempDir()
+	s := openTemp(t, Options{Dir: dir, MaxSegmentBytes: 256})
+	for i := uint64(1); i <= 30; i++ {
+		if _, err := s.Append([]*x509sim.Certificate{mkCert(t, i, []string{"seal.example.com"}, 0, 100)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.SegmentCount() < 3 {
+		t.Fatalf("SegmentCount = %d, want several with a 256-byte cap", s.SegmentCount())
+	}
+	s.Close()
+	re := openTemp(t, Options{Dir: dir})
+	if re.Len() != 30 {
+		t.Fatalf("reopen across seals Len = %d", re.Len())
+	}
+	if got := len(re.ByE2LD("example.com")); got != 30 {
+		t.Fatalf("ByE2LD after reopen = %d", got)
+	}
+}
+
+func TestStoreDetectsSealedCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s := openTemp(t, Options{Dir: dir, MaxSegmentBytes: 128})
+	for i := uint64(1); i <= 10; i++ {
+		s.Append([]*x509sim.Certificate{mkCert(t, i, []string{"c.example.com"}, 0, 100)})
+	}
+	if s.SegmentCount() < 2 {
+		t.Skip("need a sealed segment")
+	}
+	s.Close()
+
+	// Flip one byte inside the first (sealed) segment.
+	path := filepath.Join(dir, segmentFileName(0))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir}); err == nil {
+		t.Fatal("Open accepted a corrupted sealed segment")
+	} else if !strings.Contains(err.Error(), "certstore") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestStoreConcurrentReadersAndWriter(t *testing.T) {
+	s := openTemp(t, Options{Shards: 4})
+	const n = 200
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(1); i <= n; i++ {
+			if _, err := s.Append([]*x509sim.Certificate{
+				mkCert(t, i, []string{"rw.example.com"}, 0, 100),
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				certs := s.ByE2LD("example.com")
+				for _, c := range certs {
+					if c == nil {
+						t.Error("nil cert from ByE2LD during writes")
+						return
+					}
+				}
+				s.ByKey(x509sim.DedupKey{Issuer: 1, Serial: 5})
+				s.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+}
+
+func TestStoreCorpusSnapshot(t *testing.T) {
+	s := openTemp(t, Options{})
+	s.Append([]*x509sim.Certificate{
+		mkCert(t, 1, []string{"snap.example.com"}, 0, 100),
+		mkCert(t, 2, []string{"snap.example.com"}, 0, 150),
+	})
+	corpus := s.Corpus(core.CorpusOptions{})
+	if corpus.Len() != 2 {
+		t.Fatalf("corpus Len = %d", corpus.Len())
+	}
+	if got := corpus.ByE2LD("example.com"); len(got) != 2 {
+		t.Fatalf("corpus ByE2LD = %d", len(got))
+	}
+}

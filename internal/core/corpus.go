@@ -113,8 +113,11 @@ func NewCorpus(certs []*x509sim.Certificate, opts CorpusOptions) *Corpus {
 	return c
 }
 
-// certE2LDs returns the distinct e2LDs covered by a certificate's SANs.
-func (c *Corpus) certE2LDs(cert *x509sim.Certificate) []string {
+// CertE2LDs returns the distinct e2LDs covered by a certificate's SANs,
+// sorted. It is the one e2LD-extraction rule shared by the corpus and the
+// persistent certstore index, so batch and live paths bucket names
+// identically.
+func CertE2LDs(list *psl.List, cert *x509sim.Certificate) []string {
 	var out []string
 	seen := make(map[string]bool, len(cert.Names))
 	for _, n := range cert.Names {
@@ -122,7 +125,7 @@ func (c *Corpus) certE2LDs(cert *x509sim.Certificate) []string {
 		if len(base) > 2 && base[0] == '*' {
 			base = base[2:]
 		}
-		e2, err := c.psl.ETLDPlusOne(base)
+		e2, err := list.ETLDPlusOne(base)
 		if err != nil {
 			continue
 		}
@@ -133,6 +136,11 @@ func (c *Corpus) certE2LDs(cert *x509sim.Certificate) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// certE2LDs returns the distinct e2LDs covered by a certificate's SANs.
+func (c *Corpus) certE2LDs(cert *x509sim.Certificate) []string {
+	return CertE2LDs(c.psl, cert)
 }
 
 // E2LDsOf exposes certE2LDs for analyses.
@@ -151,10 +159,18 @@ func (c *Corpus) ByKey(key x509sim.DedupKey) (*x509sim.Certificate, bool) {
 }
 
 // ByE2LD returns every certificate naming an FQDN under the given e2LD.
-// With NoIndex it scans the corpus (the ablation baseline).
+// With NoIndex it scans the corpus (the ablation baseline). The returned
+// slice is a defensive copy: callers may sort or filter it in place without
+// corrupting the shared index.
 func (c *Corpus) ByE2LD(domain string) []*x509sim.Certificate {
 	if c.byE2LD != nil {
-		return c.byE2LD[domain]
+		certs := c.byE2LD[domain]
+		if len(certs) == 0 {
+			return nil
+		}
+		out := make([]*x509sim.Certificate, len(certs))
+		copy(out, certs)
+		return out
 	}
 	var out []*x509sim.Certificate
 	for _, cert := range c.certs {

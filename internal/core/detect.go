@@ -114,7 +114,7 @@ type RevocationStats struct {
 // (Method MethodRevocation, with key-compromise entries additionally
 // duplicated under MethodKeyCompromise by callers that need the split —
 // use SplitKeyCompromise).
-func DetectRevoked(corpus *Corpus, entries []crl.Entry, cutoff simtime.Day) ([]StaleCert, RevocationStats) {
+func DetectRevoked(idx Index, entries []crl.Entry, cutoff simtime.Day) ([]StaleCert, RevocationStats) {
 	stats := RevocationStats{TotalRevocations: len(entries)}
 	examined := detectExamined(MethodRevocation)
 	fNotInCT := detectFiltered(MethodRevocation, "not_in_ct")
@@ -125,7 +125,7 @@ func DetectRevoked(corpus *Corpus, entries []crl.Entry, cutoff simtime.Day) ([]S
 	var out []StaleCert
 	for _, e := range entries {
 		examined.Inc()
-		cert, ok := corpus.ByKey(e.Key())
+		cert, ok := idx.ByKey(e.Key())
 		if !ok {
 			fNotInCT.Inc()
 			continue // not in CT: cannot analyse (paper: cross-reference with CT)
@@ -178,13 +178,13 @@ func SplitKeyCompromise(revoked []StaleCert) []StaleCert {
 // DetectRegistrantChange finds certificates whose validity spans a public
 // re-registration: notBefore < registryCreationDate < notAfter (§4.2). The
 // prior registrant keeps the keys while the new registrant owns the domain.
-func DetectRegistrantChange(corpus *Corpus, events []whois.ReRegistration) []StaleCert {
+func DetectRegistrantChange(idx Index, events []whois.ReRegistration) []StaleCert {
 	examined := detectExamined(MethodRegistrantChange)
 	fOutside := detectFiltered(MethodRegistrantChange, "outside_validity")
 	emitted := detectEmitted(MethodRegistrantChange)
 	var out []StaleCert
 	for _, ev := range events {
-		for _, cert := range corpus.ByE2LD(ev.Domain) {
+		for _, cert := range idx.ByE2LD(ev.Domain) {
 			examined.Inc()
 			if cert.NotBefore < ev.NewCreation && ev.NewCreation < cert.NotAfter {
 				emitted.Inc()
@@ -210,14 +210,14 @@ type ManagedCertPred func(*x509sim.Certificate) bool
 // DetectManagedTLSDeparture finds provider-managed certificates that are
 // still valid when their customer domain's delegation to the provider
 // disappears between consecutive daily scans (§4.3).
-func DetectManagedTLSDeparture(corpus *Corpus, departures []dnssim.Departure, isManaged ManagedCertPred) []StaleCert {
+func DetectManagedTLSDeparture(idx Index, departures []dnssim.Departure, isManaged ManagedCertPred) []StaleCert {
 	examined := detectExamined(MethodManagedTLS)
 	fNotManaged := detectFiltered(MethodManagedTLS, "not_managed")
 	fNotValid := detectFiltered(MethodManagedTLS, "not_valid")
 	emitted := detectEmitted(MethodManagedTLS)
 	var out []StaleCert
 	for _, dep := range departures {
-		for _, cert := range corpus.ByE2LD(dep.Domain) {
+		for _, cert := range idx.ByE2LD(dep.Domain) {
 			examined.Inc()
 			if !isManaged(cert) {
 				fNotManaged.Inc()
@@ -283,7 +283,7 @@ func perDay(n, days int) float64 {
 
 // Summarize computes a Table 4 row over detections from one method.
 // The span is [start, end) of the detection window.
-func Summarize(corpus *Corpus, stale []StaleCert, method Method, window simtime.Span) Summary {
+func Summarize(idx Index, stale []StaleCert, method Method, window simtime.Span) Summary {
 	certs := make(map[x509sim.Fingerprint]bool)
 	fqdns := make(map[string]bool)
 	e2lds := make(map[string]bool)
@@ -297,7 +297,7 @@ func Summarize(corpus *Corpus, stale []StaleCert, method Method, window simtime.
 			e2lds[s.Domain] = true
 			for _, n := range s.Cert.Names {
 				base := trimWildcard(n)
-				if e2, err := corpus.PSL().ETLDPlusOne(base); err == nil && e2 == s.Domain {
+				if e2, err := idx.PSL().ETLDPlusOne(base); err == nil && e2 == s.Domain {
 					fqdns[base] = true
 				}
 			}
@@ -306,7 +306,7 @@ func Summarize(corpus *Corpus, stale []StaleCert, method Method, window simtime.
 			for _, n := range s.Cert.Names {
 				base := trimWildcard(n)
 				fqdns[base] = true
-				if e2, err := corpus.PSL().ETLDPlusOne(base); err == nil {
+				if e2, err := idx.PSL().ETLDPlusOne(base); err == nil {
 					e2lds[e2] = true
 				}
 			}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"stalecert/internal/crl"
+	"stalecert/internal/dnssim"
+	"stalecert/internal/simtime"
+	"stalecert/internal/whois"
+	"stalecert/internal/x509sim"
+)
+
+func domCert(t *testing.T, serial uint64, names []string, nb, na simtime.Day) *x509sim.Certificate {
+	t.Helper()
+	c, err := x509sim.New(x509sim.SerialNumber(serial), x509sim.IssuerID(serial%3+1), x509sim.KeyID(serial), names, nb, na)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func domKey(s StaleCert) string {
+	return fmt.Sprintf("%s/%d/%d/%d/%s", s.Cert.Fingerprint(), s.Method, s.EventDay, s.Reason, s.Domain)
+}
+
+// TestDomainStalenessMatchesBatchDetectors is the shared-index invariant:
+// for every domain, the per-domain query logic must return exactly the
+// batch pipelines' verdicts restricted to that domain.
+func TestDomainStalenessMatchesBatchDetectors(t *testing.T) {
+	managed := func(c *x509sim.Certificate) bool {
+		for _, n := range c.Names {
+			if len(n) > 3 && n[:3] == "sni" {
+				return true
+			}
+		}
+		return false
+	}
+	certs := []*x509sim.Certificate{
+		domCert(t, 1, []string{"alpha.com", "www.alpha.com"}, 100, 900),
+		domCert(t, 2, []string{"alpha.com"}, 200, 400), // expires before some events
+		domCert(t, 3, []string{"beta.org"}, 100, 900),
+		domCert(t, 4, []string{"gamma.net", "sni7.cloudflaressl.com"}, 100, 900),
+		domCert(t, 5, []string{"delta.com"}, 100, 900),
+	}
+	corpus := NewCorpus(certs, CorpusOptions{})
+
+	revs := []crl.Entry{
+		{Issuer: certs[0].Issuer, Serial: 1, RevokedAt: 500, Reason: crl.KeyCompromise},
+		{Issuer: certs[1].Issuer, Serial: 2, RevokedAt: 500, Reason: crl.Unspecified}, // after expiry: filtered
+		{Issuer: certs[2].Issuer, Serial: 3, RevokedAt: 50, Reason: crl.Unspecified},  // before notBefore: filtered
+		{Issuer: certs[4].Issuer, Serial: 5, RevokedAt: 120, Reason: crl.Superseded},  // before cutoff when set
+	}
+	rereg := []whois.ReRegistration{
+		{Domain: "alpha.com", NewCreation: 300, PrevCreation: 10},
+		{Domain: "beta.org", NewCreation: 950, PrevCreation: 10}, // outside validity
+	}
+	deps := []dnssim.Departure{
+		{Domain: "gamma.net", LastSeen: 599, FirstGone: 600},
+		{Domain: "delta.com", LastSeen: 599, FirstGone: 600}, // not managed: filtered
+	}
+
+	for _, cutoff := range []simtime.Day{simtime.NoDay, 200} {
+		var batch []StaleCert
+		revoked, _ := DetectRevoked(corpus, revs, cutoff)
+		batch = append(batch, revoked...)
+		batch = append(batch, DetectRegistrantChange(corpus, rereg)...)
+		batch = append(batch, DetectManagedTLSDeparture(corpus, deps, managed)...)
+
+		ev := DomainEvidence{
+			Revocations:      revs,
+			ReRegistrations:  rereg,
+			Departures:       deps,
+			RevocationCutoff: cutoff,
+			IsManaged:        managed,
+		}
+		for _, domain := range []string{"alpha.com", "beta.org", "gamma.net", "delta.com", "cloudflaressl.com", "unknown.io"} {
+			inDomain := map[x509sim.Fingerprint]bool{}
+			for _, c := range corpus.ByE2LD(domain) {
+				inDomain[c.Fingerprint()] = true
+			}
+			var want []string
+			for _, s := range batch {
+				if s.Method == MethodRevocation && inDomain[s.Cert.Fingerprint()] ||
+					s.Method != MethodRevocation && s.Domain == domain {
+					want = append(want, domKey(s))
+				}
+			}
+			var got []string
+			for _, s := range DomainStaleness(corpus, domain, ev) {
+				got = append(got, domKey(s))
+			}
+			sort.Strings(want)
+			sort.Strings(got)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("cutoff %v domain %s: got %v want %v", cutoff, domain, got, want)
+			}
+		}
+	}
+}
+
+func TestDomainStalenessNilIsManagedDisablesDepartures(t *testing.T) {
+	certs := []*x509sim.Certificate{domCert(t, 4, []string{"gamma.net", "sni7.cloudflaressl.com"}, 100, 900)}
+	corpus := NewCorpus(certs, CorpusOptions{})
+	out := DomainStaleness(corpus, "gamma.net", DomainEvidence{
+		Departures:       []dnssim.Departure{{Domain: "gamma.net", FirstGone: 600}},
+		RevocationCutoff: simtime.NoDay,
+	})
+	if len(out) != 0 {
+		t.Fatalf("departures detected without IsManaged: %v", out)
+	}
+}
+
+// TestByE2LDDefensiveCopy guards the index against caller mutation — the
+// returned slice must not share backing storage with the inverted index.
+func TestByE2LDDefensiveCopy(t *testing.T) {
+	certs := []*x509sim.Certificate{
+		domCert(t, 1, []string{"copy.com"}, 100, 900),
+		domCert(t, 2, []string{"copy.com"}, 100, 900),
+	}
+	corpus := NewCorpus(certs, CorpusOptions{})
+	got := corpus.ByE2LD("copy.com")
+	if len(got) != 2 {
+		t.Fatalf("ByE2LD = %d certs", len(got))
+	}
+	got[0], got[1] = nil, nil
+	again := corpus.ByE2LD("copy.com")
+	if len(again) != 2 || again[0] == nil || again[1] == nil {
+		t.Fatal("caller mutation corrupted the shared e2LD index")
+	}
+	if corpus.ByE2LD("missing.com") != nil {
+		t.Fatal("miss should return nil")
+	}
+}

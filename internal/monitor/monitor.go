@@ -53,12 +53,30 @@ type Hit struct {
 	Domains []string // watched e2LDs the certificate covers
 }
 
+// EntrySink persists entries a watcher polls — in practice a
+// certstore.Ingester, which writes them to the durable store and advances
+// the persisted checkpoint. Checkpoint seeds the watcher's resume position,
+// so a restarted watcher continues from where the previous process stopped
+// instead of re-scraping the log; both live (stalewatch, staleapid) and
+// batch paths then share the one persistent index the sink maintains.
+type EntrySink interface {
+	// Checkpoint returns the next entry index to fetch, if one is persisted.
+	Checkpoint() (next uint64, ok bool)
+	// IngestEntries durably records polled entries and the (already
+	// consistency-verified) tree head they were fetched under.
+	IngestEntries(entries []ctlog.Entry, sth ctlog.SignedTreeHead) error
+}
+
 // CTWatcher incrementally tails one CT log for watched e2LDs, verifying on
 // every poll that the new signed tree head is consistent with the previous
 // one — a monitor must notice a log rewriting history.
 type CTWatcher struct {
 	Client *ctlog.Client
 	PSL    *psl.List
+	// Sink, when set, durably receives every polled entry before hits are
+	// returned; a poll whose sink write fails is reported as an error so no
+	// entry is observed-but-unpersisted.
+	Sink EntrySink
 
 	watched map[string]bool
 	next    uint64
@@ -72,6 +90,17 @@ func NewCTWatcher(client *ctlog.Client, domains ...string) *CTWatcher {
 	w := &CTWatcher{Client: client, PSL: psl.Default(), watched: make(map[string]bool)}
 	for _, d := range domains {
 		w.watched[dnsname.Canonical(d)] = true
+	}
+	return w
+}
+
+// NewCTWatcherWithSink creates a watcher whose polled entries are persisted
+// through sink and whose start position resumes from the sink's checkpoint.
+func NewCTWatcherWithSink(client *ctlog.Client, sink EntrySink, domains ...string) *CTWatcher {
+	w := NewCTWatcher(client, domains...)
+	w.Sink = sink
+	if next, ok := sink.Checkpoint(); ok {
+		w.next = next
 	}
 	return w
 }
@@ -111,6 +140,12 @@ func (w *CTWatcher) Poll(ctx context.Context) ([]Hit, error) {
 	}
 	w.lastSTH = sth
 	w.haveSTH = true
+	if w.Sink != nil && len(entries) > 0 {
+		if err := w.Sink.IngestEntries(entries, sth); err != nil {
+			mPollErrors.Inc()
+			return nil, fmt.Errorf("monitor: persist entries: %w", err)
+		}
+	}
 	mPollEntries.Add(uint64(len(entries)))
 	var hits []Hit
 	for _, e := range entries {
@@ -247,6 +282,14 @@ func (ev *Evaluator) Evaluate(ctx context.Context, hit Hit) ([]Alert, error) {
 }
 
 func hasMarker(cert *x509sim.Certificate, suffix string) bool {
+	return HasProviderMarker(cert, suffix)
+}
+
+// HasProviderMarker reports whether the certificate carries a provider
+// marker SAN (an sni*.<suffix> name), identifying it as provider-managed.
+// Shared by the live evaluator and staleapid's evidence gathering so both
+// classify certificates identically.
+func HasProviderMarker(cert *x509sim.Certificate, suffix string) bool {
 	for _, n := range cert.Names {
 		if dnsname.IsSubdomain(n, suffix) && strings.HasPrefix(n, "sni") && n != suffix {
 			return true

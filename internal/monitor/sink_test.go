@@ -1,0 +1,104 @@
+package monitor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"stalecert/internal/ctlog"
+	"stalecert/internal/simtime"
+)
+
+// fakeSink records IngestEntries calls and serves a configurable checkpoint.
+type fakeSink struct {
+	next    uint64
+	hasNext bool
+	err     error
+
+	entries []ctlog.Entry
+	sths    []ctlog.SignedTreeHead
+}
+
+func (s *fakeSink) Checkpoint() (uint64, bool) { return s.next, s.hasNext }
+
+func (s *fakeSink) IngestEntries(entries []ctlog.Entry, sth ctlog.SignedTreeHead) error {
+	if s.err != nil {
+		return s.err
+	}
+	s.entries = append(s.entries, entries...)
+	s.sths = append(s.sths, sth)
+	return nil
+}
+
+func TestCTWatcherWithSinkResumesAndPersists(t *testing.T) {
+	log := ctlog.New("sink-log", ctlog.Shard{})
+	day := simtime.MustParse("2022-06-01")
+	for i := uint64(1); i <= 6; i++ {
+		if _, err := log.AddChain(mkCert(t, i, []string{fmt.Sprintf("s%d.example.com", i)}, 100, 900), day); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := ctlog.NewServer(log)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ctlog.NewClient(ts.URL, ts.Client())
+
+	// A sink with a persisted checkpoint seeds the watcher's resume position:
+	// only entries 4..5 are polled and persisted.
+	sink := &fakeSink{next: 4, hasNext: true}
+	w := NewCTWatcherWithSink(client, sink)
+	if w.NextIndex() != 4 {
+		t.Fatalf("NextIndex = %d, want 4 from sink checkpoint", w.NextIndex())
+	}
+	hits, err := w.Poll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 || len(sink.entries) != 2 {
+		t.Fatalf("hits = %d, persisted = %d, want 2 each", len(hits), len(sink.entries))
+	}
+	if sink.entries[0].Index != 4 || sink.entries[1].Index != 5 {
+		t.Fatalf("persisted indexes = %d, %d", sink.entries[0].Index, sink.entries[1].Index)
+	}
+	if len(sink.sths) != 1 || sink.sths[0].Size != 6 {
+		t.Fatalf("persisted STHs = %+v", sink.sths)
+	}
+
+	// A sink without a checkpoint starts from zero.
+	w2 := NewCTWatcherWithSink(client, &fakeSink{})
+	if w2.NextIndex() != 0 {
+		t.Fatalf("fresh-sink NextIndex = %d", w2.NextIndex())
+	}
+}
+
+func TestCTWatcherSinkFailureFailsThePoll(t *testing.T) {
+	log := ctlog.New("sink-err-log", ctlog.Shard{})
+	day := simtime.MustParse("2022-06-01")
+	if _, err := log.AddChain(mkCert(t, 1, []string{"a.example.com"}, 100, 900), day); err != nil {
+		t.Fatal(err)
+	}
+	srv := ctlog.NewServer(log)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	boom := errors.New("disk full")
+	sink := &fakeSink{err: boom}
+	w := NewCTWatcherWithSink(ctlog.NewClient(ts.URL, ts.Client()), sink)
+	if _, err := w.Poll(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("Poll err = %v, want wrapped %v", err, boom)
+	}
+	// No entry may be observed-but-unpersisted: the resume position must not
+	// advance past entries the sink rejected.
+	if w.NextIndex() != 0 {
+		t.Fatalf("NextIndex advanced to %d past unpersisted entries", w.NextIndex())
+	}
+
+	// Once the sink recovers, the same entries are re-polled and persisted.
+	sink.err = nil
+	hits, err := w.Poll(context.Background())
+	if err != nil || len(hits) != 1 || len(sink.entries) != 1 {
+		t.Fatalf("recovery poll = %d hits, %d persisted, %v", len(hits), len(sink.entries), err)
+	}
+}

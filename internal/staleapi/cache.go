@@ -1,0 +1,130 @@
+package staleapi
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"stalecert/internal/obs"
+)
+
+// Cache metric families: hit/miss/eviction counters plus the singleflight
+// counter for callers that piggybacked on an in-flight computation instead
+// of recomputing (the hot-domain thundering-herd guard).
+var (
+	mCacheHits      = obs.Default().Counter("staleapi_cache_hits_total")
+	mCacheMisses    = obs.Default().Counter("staleapi_cache_misses_total")
+	mCacheEvictions = obs.Default().Counter("staleapi_cache_evictions_total")
+	mCacheExpired   = obs.Default().Counter("staleapi_cache_expired_total")
+	mFlightShared   = obs.Default().Counter("staleapi_singleflight_shared_total")
+	mCacheSize      = obs.Default().Gauge("staleapi_cache_entries")
+)
+
+// call is one in-flight computation other callers can wait on.
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Cache is a TTL'd LRU with singleflight semantics: concurrent Do calls for
+// the same key run the loader once and share its result. Staleness queries
+// on hot domains fan in here — a burst of identical queries costs one
+// evidence fetch.
+type Cache struct {
+	max int
+	ttl time.Duration
+	now func() time.Time // injectable for tests
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recent
+	items map[string]*list.Element
+	calls map[string]*call
+}
+
+type cacheEntry struct {
+	key     string
+	val     any
+	expires time.Time
+}
+
+// NewCache creates a cache holding at most max entries, each fresh for ttl.
+// max <= 0 disables storage (every Do runs the loader, still deduplicated by
+// singleflight); ttl <= 0 means entries never expire.
+func NewCache(max int, ttl time.Duration) *Cache {
+	return &Cache{
+		max:   max,
+		ttl:   ttl,
+		now:   time.Now,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+		calls: make(map[string]*call),
+	}
+}
+
+// Len returns the live entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Do returns the cached value for key, or runs loader (once across
+// concurrent callers) and caches its result. cached reports whether the
+// value came from the cache (hit) rather than this or another caller's
+// loader. Loader errors are not cached.
+func (c *Cache) Do(key string, loader func() (any, error)) (v any, cached bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		if c.ttl <= 0 || c.now().Before(ent.expires) {
+			c.ll.MoveToFront(el)
+			c.mu.Unlock()
+			mCacheHits.Inc()
+			return ent.val, true, nil
+		}
+		c.ll.Remove(el)
+		delete(c.items, key)
+		mCacheExpired.Inc()
+	}
+	if cl, ok := c.calls[key]; ok {
+		c.mu.Unlock()
+		mFlightShared.Inc()
+		<-cl.done
+		return cl.val, false, cl.err
+	}
+	cl := &call{done: make(chan struct{})}
+	c.calls[key] = cl
+	c.mu.Unlock()
+	mCacheMisses.Inc()
+
+	cl.val, cl.err = loader()
+	close(cl.done)
+
+	c.mu.Lock()
+	delete(c.calls, key)
+	if cl.err == nil && c.max > 0 {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: cl.val, expires: c.now().Add(c.ttl)})
+		for c.ll.Len() > c.max {
+			oldest := c.ll.Back()
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(*cacheEntry).key)
+			mCacheEvictions.Inc()
+		}
+	}
+	mCacheSize.Set(float64(c.ll.Len()))
+	c.mu.Unlock()
+	return cl.val, false, cl.err
+}
+
+// Invalidate drops one key (e.g. after new certificates for a domain were
+// ingested).
+func (c *Cache) Invalidate(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.Remove(el)
+		delete(c.items, key)
+		mCacheSize.Set(float64(c.ll.Len()))
+	}
+}

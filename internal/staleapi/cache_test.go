@@ -1,0 +1,125 @@
+package staleapi
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCacheHitMissAndLRU(t *testing.T) {
+	c := NewCache(2, time.Hour)
+	calls := 0
+	load := func(v string) func() (any, error) {
+		return func() (any, error) { calls++; return v, nil }
+	}
+
+	v, cached, err := c.Do("a", load("A"))
+	if err != nil || cached || v != "A" || calls != 1 {
+		t.Fatalf("first Do = %v %v %v calls=%d", v, cached, err, calls)
+	}
+	v, cached, _ = c.Do("a", load("A2"))
+	if !cached || v != "A" || calls != 1 {
+		t.Fatalf("second Do should hit: %v %v calls=%d", v, cached, calls)
+	}
+
+	c.Do("b", load("B"))
+	c.Do("c", load("C")) // evicts "a" (least recent)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	_, cached, _ = c.Do("a", load("A3"))
+	if cached {
+		t.Fatal("evicted key still cached")
+	}
+	// "b" was evicted when "a" was re-added ("c" was more recent).
+	_, cached, _ = c.Do("c", load("C2"))
+	if !cached {
+		t.Fatal("most-recent key evicted out of order")
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	c := NewCache(8, time.Minute)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+
+	c.Do("k", func() (any, error) { return 1, nil })
+	if _, cached, _ := c.Do("k", func() (any, error) { return 2, nil }); !cached {
+		t.Fatal("fresh entry missed")
+	}
+	now = now.Add(2 * time.Minute)
+	v, cached, _ := c.Do("k", func() (any, error) { return 2, nil })
+	if cached || v != 2 {
+		t.Fatalf("expired entry served: %v %v", v, cached)
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := NewCache(8, time.Minute)
+	boom := errors.New("boom")
+	if _, _, err := c.Do("k", func() (any, error) { return nil, boom }); err != boom {
+		t.Fatalf("err = %v", err)
+	}
+	v, cached, err := c.Do("k", func() (any, error) { return "ok", nil })
+	if err != nil || cached || v != "ok" {
+		t.Fatalf("error was cached: %v %v %v", v, cached, err)
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(8, time.Minute)
+	var loads atomic.Int32
+	gate := make(chan struct{})
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]any, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.Do("hot", func() (any, error) {
+				loads.Add(1)
+				<-gate
+				return "shared", nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Let every goroutine reach Do before releasing the loader. A short
+	// sleep is enough: stragglers that arrive later hit the cache instead,
+	// which still means exactly one load.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if got := loads.Load(); got != 1 {
+		t.Fatalf("loader ran %d times, want 1", got)
+	}
+	for i, v := range results {
+		if v != "shared" {
+			t.Fatalf("caller %d got %v", i, v)
+		}
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := NewCache(8, time.Hour)
+	c.Do("k", func() (any, error) { return 1, nil })
+	c.Invalidate("k")
+	if _, cached, _ := c.Do("k", func() (any, error) { return 2, nil }); cached {
+		t.Fatal("invalidated key still cached")
+	}
+	c.Invalidate("never-existed") // no-op
+}
+
+func TestCacheZeroMaxStillSingleflights(t *testing.T) {
+	c := NewCache(0, time.Minute)
+	c.Do("k", func() (any, error) { return 1, nil })
+	if _, cached, _ := c.Do("k", func() (any, error) { return 2, nil }); cached {
+		t.Fatal("max=0 cache stored an entry")
+	}
+}

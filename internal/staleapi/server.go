@@ -1,0 +1,311 @@
+// Package staleapi is the HTTP query surface over a persistent certstore:
+// point lookups by certificate fingerprint, per-domain certificate listings,
+// and live staleness verdicts computed by running the three detectors'
+// per-domain logic (core.DomainStaleness) against the shared index. Hot
+// domains are protected by a TTL'd LRU with singleflight, so a burst of
+// identical staleness queries costs one evidence fetch.
+package staleapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"stalecert/internal/certstore"
+	"stalecert/internal/core"
+	"stalecert/internal/dnsname"
+	"stalecert/internal/obs"
+	"stalecert/internal/simtime"
+	"stalecert/internal/x509sim"
+)
+
+// Query-path metrics beyond the RED middleware: per-endpoint result sizes
+// and evidence failures.
+var (
+	mStaleResults    = obs.Default().Counter("staleapi_stale_results_total")
+	mEvidenceErrors  = obs.Default().Counter("staleapi_evidence_errors_total")
+	mUnknownFP       = obs.Default().Counter("staleapi_unknown_fingerprint_total")
+	mDomainQueries   = obs.Default().Counter("staleapi_domain_queries_total")
+	mStalenessChecks = obs.Default().Counter("staleapi_staleness_checks_total")
+)
+
+// EvidenceFunc gathers one domain's staleness evidence (WHOIS creation date,
+// CRL entries, DNS delegation state). A nil func disables evidence — the
+// staleness endpoint then reports on an empty event set.
+type EvidenceFunc func(ctx context.Context, domain string) (core.DomainEvidence, error)
+
+// Server answers staleapid's /v1 API from a certstore.
+type Server struct {
+	store    *certstore.Store
+	evidence EvidenceFunc
+	now      func() simtime.Day
+	cache    *Cache
+	health   *obs.Health
+}
+
+// Config assembles a Server.
+type Config struct {
+	// Store is required.
+	Store *certstore.Store
+	// Evidence fills DomainEvidence per staleness query; nil disables.
+	Evidence EvidenceFunc
+	// Now is the evaluation day for staleness windows.
+	Now func() simtime.Day
+	// CacheEntries/CacheTTL size the staleness LRU (defaults 1024, 5s).
+	CacheEntries int
+	CacheTTL     time.Duration
+	// Health backs /healthz and /readyz on the API listener; defaults to
+	// obs.DefaultHealth() so the daemon's probes show on both ports.
+	Health *obs.Health
+}
+
+// NewServer builds the API server.
+func NewServer(cfg Config) *Server {
+	if cfg.Store == nil {
+		panic("staleapi: Config.Store is required")
+	}
+	if cfg.Now == nil {
+		cfg.Now = func() simtime.Day { return simtime.MustParse("2023-01-01") }
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 1024
+	}
+	if cfg.CacheTTL == 0 {
+		cfg.CacheTTL = 5 * time.Second
+	}
+	if cfg.Health == nil {
+		cfg.Health = obs.DefaultHealth()
+	}
+	return &Server{
+		store:    cfg.Store,
+		evidence: cfg.Evidence,
+		now:      cfg.Now,
+		cache:    NewCache(cfg.CacheEntries, cfg.CacheTTL),
+		health:   cfg.Health,
+	}
+}
+
+// Cache exposes the staleness cache (the ingest loop invalidates domains
+// that just received new certificates).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Handler returns the API mux. Wrap it in obs.Middleware for RED metrics,
+// request IDs and panic recovery.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/cert/{fp}", s.handleCert)
+	mux.HandleFunc("GET /v1/domain/{e2ld}/certs", s.handleDomainCerts)
+	mux.HandleFunc("GET /v1/domain/{e2ld}/staleness", s.handleStaleness)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "ok uptime=%s\n", s.health.Uptime().Round(time.Millisecond))
+	})
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return mux
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+	defer cancel()
+	results := s.health.Check(ctx)
+	status := http.StatusOK
+	for _, res := range results {
+		if res.Err != nil {
+			status = http.StatusServiceUnavailable
+			break
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(status)
+	for _, res := range results {
+		if res.Err != nil {
+			fmt.Fprintf(w, "not-ready %s: %v\n", res.Name, res.Err)
+		} else {
+			fmt.Fprintf(w, "ready %s\n", res.Name)
+		}
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(w, "ready (no probes registered)")
+	}
+}
+
+// CertJSON is the wire form of one certificate.
+type CertJSON struct {
+	Fingerprint string   `json:"fingerprint"`
+	Short       string   `json:"fingerprint_short"`
+	Serial      uint64   `json:"serial"`
+	Issuer      uint16   `json:"issuer"`
+	Key         uint64   `json:"key"`
+	Names       []string `json:"names"`
+	NotBefore   string   `json:"not_before"`
+	NotAfter    string   `json:"not_after"`
+	Usage       string   `json:"usage"`
+	Precert     bool     `json:"precert"`
+	SCTCount    uint8    `json:"sct_count"`
+}
+
+func certJSON(c *x509sim.Certificate) CertJSON {
+	fp := c.Fingerprint()
+	return CertJSON{
+		Fingerprint: fp.Hex(),
+		Short:       fp.String(),
+		Serial:      uint64(c.Serial),
+		Issuer:      uint16(c.Issuer),
+		Key:         uint64(c.Key),
+		Names:       append([]string(nil), c.Names...),
+		NotBefore:   c.NotBefore.String(),
+		NotAfter:    c.NotAfter.String(),
+		Usage:       c.Usage.String(),
+		Precert:     c.Precert,
+		SCTCount:    c.SCTCount,
+	}
+}
+
+// StaleJSON is one staleness verdict.
+type StaleJSON struct {
+	Fingerprint   string `json:"fingerprint"`
+	Method        string `json:"method"`
+	EventDay      string `json:"event_day"`
+	StalenessDays int    `json:"staleness_days"`
+	Domain        string `json:"domain,omitempty"`
+	Reason        string `json:"reason,omitempty"`
+}
+
+// StalenessResponse is the /v1/domain/{e2ld}/staleness payload.
+type StalenessResponse struct {
+	Domain       string      `json:"domain"`
+	Now          string      `json:"now"`
+	CertsIndexed int         `json:"certs_indexed"`
+	Stale        []StaleJSON `json:"stale"`
+	Cached       bool        `json:"cached"`
+}
+
+// DomainCertsResponse is the /v1/domain/{e2ld}/certs payload.
+type DomainCertsResponse struct {
+	Domain string     `json:"domain"`
+	Certs  []CertJSON `json:"certs"`
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleCert(w http.ResponseWriter, r *http.Request) {
+	fp, short, err := x509sim.ParseFingerprint(r.PathValue("fp"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return
+	}
+	var cert *x509sim.Certificate
+	var ok bool
+	if short {
+		var prefix [8]byte
+		copy(prefix[:], fp[:8])
+		cert, ok = s.store.ByShortFingerprint(prefix)
+	} else {
+		cert, ok = s.store.ByFingerprint(fp)
+	}
+	if !ok {
+		mUnknownFP.Inc()
+		writeJSON(w, http.StatusNotFound, errorJSON{Error: "unknown fingerprint"})
+		return
+	}
+	writeJSON(w, http.StatusOK, certJSON(cert))
+}
+
+// domainParam canonicalises and validates the e2LD path segment.
+func domainParam(r *http.Request) (string, error) {
+	d := dnsname.Canonical(r.PathValue("e2ld"))
+	if err := dnsname.Check(d, false); err != nil {
+		return "", fmt.Errorf("bad domain: %w", err)
+	}
+	return d, nil
+}
+
+func (s *Server) handleDomainCerts(w http.ResponseWriter, r *http.Request) {
+	domain, err := domainParam(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return
+	}
+	mDomainQueries.Inc()
+	certs := s.store.ByE2LD(domain)
+	resp := DomainCertsResponse{Domain: domain, Certs: make([]CertJSON, 0, len(certs))}
+	for _, c := range certs {
+		resp.Certs = append(resp.Certs, certJSON(c))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStaleness(w http.ResponseWriter, r *http.Request) {
+	domain, err := domainParam(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return
+	}
+	mStalenessChecks.Inc()
+	ctx := r.Context()
+	v, cached, err := s.cache.Do("staleness:"+domain, func() (any, error) {
+		return s.staleness(ctx, domain)
+	})
+	if err != nil {
+		mEvidenceErrors.Inc()
+		status := http.StatusBadGateway
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+		}
+		writeJSON(w, status, errorJSON{Error: err.Error()})
+		return
+	}
+	resp := v.(StalenessResponse)
+	resp.Cached = cached
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// staleness computes one domain's verdict: gather evidence, run the shared
+// per-domain detector logic against the store index, render.
+func (s *Server) staleness(ctx context.Context, domain string) (StalenessResponse, error) {
+	var ev core.DomainEvidence
+	ev.RevocationCutoff = simtime.NoDay
+	if s.evidence != nil {
+		var err error
+		ev, err = s.evidence(ctx, domain)
+		if err != nil {
+			return StalenessResponse{}, fmt.Errorf("evidence for %s: %w", domain, err)
+		}
+	}
+	now := s.now()
+	stale := core.DomainStaleness(s.store, domain, ev)
+	resp := StalenessResponse{
+		Domain:       domain,
+		Now:          now.String(),
+		CertsIndexed: len(s.store.ByE2LD(domain)),
+		Stale:        make([]StaleJSON, 0, len(stale)),
+	}
+	for _, sc := range stale {
+		sj := StaleJSON{
+			Fingerprint:   sc.Cert.Fingerprint().Hex(),
+			Method:        sc.Method.String(),
+			EventDay:      sc.EventDay.String(),
+			StalenessDays: sc.StalenessDays(),
+			Domain:        sc.Domain,
+		}
+		if sc.Method == core.MethodRevocation || sc.Method == core.MethodKeyCompromise {
+			sj.Reason = sc.Reason.String()
+		}
+		resp.Stale = append(resp.Stale, sj)
+		mStaleResults.Inc()
+	}
+	return resp, nil
+}

@@ -15,6 +15,7 @@ package x509sim
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"sort"
@@ -48,6 +49,35 @@ func (f Fingerprint) String() string {
 		b[2*i+1] = hexdigits[f[i]&0xf]
 	}
 	return string(b[:])
+}
+
+// Hex renders the full 32-byte fingerprint as 64 hex digits — the canonical
+// external identifier the query API serves certificates under.
+func (f Fingerprint) Hex() string {
+	return hex.EncodeToString(f[:])
+}
+
+// ErrBadFingerprint is returned by ParseFingerprint for anything that is not
+// 64 (full) or 16 (short-prefix) hex digits.
+var ErrBadFingerprint = errors.New("x509sim: fingerprint must be 64 or 16 hex digits")
+
+// ParseFingerprint parses the Hex form (64 digits) or the String short form
+// (16 digits, the first 8 bytes). short reports which one was given; for a
+// short form only the first 8 bytes of the result are meaningful.
+func ParseFingerprint(s string) (f Fingerprint, short bool, err error) {
+	switch len(s) {
+	case 64:
+	case 16:
+		short = true
+	default:
+		return f, false, ErrBadFingerprint
+	}
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return f, false, ErrBadFingerprint
+	}
+	copy(f[:], raw)
+	return f, short, nil
 }
 
 // KeyUsage models the key-authorization taxonomy category (Table 1) as a bit
