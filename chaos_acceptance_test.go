@@ -1,0 +1,252 @@
+package stalecert_test
+
+// Chaos acceptance: the full seeded pipeline — a CT log served over HTTP,
+// tailed into a fresh on-disk certstore through the resilient client, a CRL
+// distribution point feeding revocation evidence through the resilient
+// fetcher, and a staleapi server answering per-domain staleness queries —
+// must produce byte-identical verdicts with 20% deterministic fault
+// injection on every outbound call as it does fault-free, with the retries
+// that made that possible visible in the resil metric families.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"stalecert/internal/certstore"
+	"stalecert/internal/core"
+	"stalecert/internal/crl"
+	"stalecert/internal/ctlog"
+	"stalecert/internal/obs"
+	"stalecert/internal/resil"
+	"stalecert/internal/simtime"
+	"stalecert/internal/staleapi"
+	"stalecert/internal/x509sim"
+)
+
+// chaosQueryDomains are the staleness endpoints compared across runs: plain
+// sites, the revoked domain, and one with no certificates at all.
+var chaosQueryDomains = []string{
+	"site01.com", "site07.com", "site12.com", "revoked.com", "nocerts.example",
+}
+
+// runChaosPipeline builds the whole pipeline from scratch (fresh log, fresh
+// store) and returns each queried domain's staleness response body. A nil
+// chaos runs fault-free; a non-nil one injects its seeded fault stream into
+// both the CT tail and the CRL fetch legs.
+func runChaosPipeline(t *testing.T, chaos *resil.Chaos) map[string]string {
+	t.Helper()
+	day := simtime.MustParse("2022-06-01")
+
+	// Seeded CT log over HTTP.
+	log := ctlog.New("chaos-log", ctlog.Shard{})
+	logSrv := ctlog.NewServer(log)
+	logSrv.SetNow(day)
+	addCert := func(serial uint64, names []string) {
+		t.Helper()
+		c, err := x509sim.New(x509sim.SerialNumber(serial), 1, x509sim.KeyID(serial), names, 100, 1200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := log.AddChain(c, day); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0
+	for i := uint64(1); i <= 16; i++ {
+		addCert(i, []string{fmt.Sprintf("site%02d.com", i)})
+		total++
+	}
+	addCert(100, []string{"revoked.com"})
+	total++
+	logTS := httptest.NewServer(logSrv.Handler())
+	defer logTS.Close()
+
+	// CRL distribution point with one key-compromise revocation matching the
+	// revoked.com certificate.
+	auth := crl.NewAuthority("ChaosCA")
+	auth.Revoke(1, 100, 600, crl.KeyCompromise)
+	crlSrv := crl.NewServer(7)
+	crlSrv.SetNow(day)
+	crlSrv.Host(auth, 0)
+	crlTS := httptest.NewServer(crlSrv.Handler())
+	defer crlTS.Close()
+
+	// Resilient CT client: tight backoff so injected faults are ridden out
+	// quickly, per-attempt budget so blackholed requests are cut off, and a
+	// fast-recovering breaker so an unlucky trip cannot stall the test.
+	breakers := resil.NewBreakerSet(resil.BreakerConfig{
+		Service:  "chaos-accept",
+		Cooldown: 200 * time.Millisecond,
+	})
+	client := ctlog.NewClientWithOptions(logTS.URL, logTS.Client(), resil.Options{
+		Service: "chaos-accept-ct",
+		Breaker: breakers,
+		Chaos:   chaos,
+		Policy: resil.Policy{
+			MaxAttempts: 5,
+			BaseDelay:   5 * time.Millisecond,
+			MaxDelay:    50 * time.Millisecond,
+			PerAttempt:  500 * time.Millisecond,
+		},
+	})
+
+	store, err := certstore.Open(certstore.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	ing := certstore.NewIngester(store, client)
+
+	// Ingest until the store holds the whole log. Individual Sync rounds may
+	// still fail when a request exhausts its attempt budget (0.2^5 per call);
+	// the checkpoint makes every retry resume, never re-ingest.
+	ctx := context.Background()
+	deadline := time.Now().Add(60 * time.Second)
+	for store.Len() < total {
+		if time.Now().After(deadline) {
+			t.Fatalf("ingest did not complete: %d/%d certs", store.Len(), total)
+		}
+		if _, err := ing.Sync(ctx); err != nil {
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	// Evidence: CRL fetch through the resilient fetcher, repeated until a
+	// round succeeds completely so both runs converge on identical evidence.
+	fetcher := &crl.Fetcher{Base: crlTS.URL}
+	if chaos != nil {
+		fetcher.HC = &http.Client{Transport: chaos.WithBase(crlTS.Client().Transport)}
+	} else {
+		fetcher.HC = crlTS.Client()
+	}
+	names := []string{"ChaosCA"}
+	evidence := func(ctx context.Context, domain string) (core.DomainEvidence, error) {
+		ev := core.DomainEvidence{RevocationCutoff: simtime.NoDay}
+		for {
+			if ctx.Err() != nil {
+				return ev, ctx.Err()
+			}
+			fctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			lists, err := fetcher.FetchAll(fctx, names)
+			cancel()
+			if err == nil && len(lists) == len(names) {
+				for _, l := range lists {
+					ev.Revocations = append(ev.Revocations, l.Entries...)
+				}
+				return ev, nil
+			}
+		}
+	}
+
+	api := staleapi.NewServer(staleapi.Config{
+		Store:    store,
+		Evidence: evidence,
+		Now:      func() simtime.Day { return day },
+		Health:   obs.NewHealth(),
+	})
+	apiTS := httptest.NewServer(api.Handler())
+	defer apiTS.Close()
+
+	out := make(map[string]string, len(chaosQueryDomains))
+	for _, d := range chaosQueryDomains {
+		resp, err := apiTS.Client().Get(apiTS.URL + "/v1/domain/" + d + "/staleness")
+		if err != nil {
+			t.Fatalf("staleness %s: %v", d, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("staleness %s: read body: %v", d, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("staleness %s: status %d: %s", d, resp.StatusCode, body)
+		}
+		out[d] = string(body)
+	}
+	return out
+}
+
+// metricTotal sums every labelled series of one counter family.
+func metricTotal(family string) float64 {
+	var total float64
+	for _, s := range obs.Default().Snapshot() {
+		if s.Name == family {
+			total += s.Value
+		}
+	}
+	return total
+}
+
+func TestChaosPipelineVerdictsMatchFaultFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos acceptance is not a -short test")
+	}
+
+	clean := runChaosPipeline(t, nil)
+
+	retriesBefore := metricTotal("resil_retries_total")
+	injectedBefore := metricTotal("resil_chaos_injections_total")
+
+	chaotic := runChaosPipeline(t, resil.NewChaos(nil, 1, resil.DefaultRates(0.2)))
+
+	if len(chaotic) != len(clean) {
+		t.Fatalf("chaos run answered %d domains, fault-free %d", len(chaotic), len(clean))
+	}
+	for _, d := range chaosQueryDomains {
+		if chaotic[d] != clean[d] {
+			t.Errorf("verdict for %s drifted under chaos:\nfault-free: %s\nchaos:      %s", d, clean[d], chaotic[d])
+		}
+	}
+
+	// The identical verdicts must have been earned: faults were injected and
+	// retries absorbed them.
+	if injected := metricTotal("resil_chaos_injections_total") - injectedBefore; injected == 0 {
+		t.Error("chaos run injected no faults")
+	}
+	if retries := metricTotal("resil_retries_total") - retriesBefore; retries == 0 {
+		t.Error("chaos run performed no retries — faults were not absorbed by the resilience layer")
+	}
+
+	// Breaker state must be observable on the debug surface: the registered
+	// sets (including this test's) show up on /v1/breakers via the obs mux.
+	debugTS := httptest.NewServer(obs.HandlerFor(obs.Default(), obs.DefaultHealth()))
+	defer debugTS.Close()
+	resp, err := debugTS.Client().Get(debugTS.URL + "/v1/breakers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	breakersBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/breakers status %d", resp.StatusCode)
+	}
+	var statuses []resil.BreakerStatus
+	if err := json.Unmarshal(breakersBody, &statuses); err != nil {
+		t.Fatalf("/v1/breakers is not JSON: %v\n%s", err, breakersBody)
+	}
+	found := false
+	for _, st := range statuses {
+		if st.Service == "chaos-accept" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("chaos-accept breaker missing from /v1/breakers: %s", breakersBody)
+	}
+
+	// A verdict sanity check so byte-equality is not vacuous: the revoked
+	// domain reports its key-compromise staleness in both runs.
+	var sr staleapi.StalenessResponse
+	if err := json.Unmarshal([]byte(chaotic["revoked.com"]), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Stale) != 1 || sr.Stale[0].Reason != "keyCompromise" || sr.Stale[0].StalenessDays <= 0 {
+		t.Fatalf("revoked.com verdict = %+v", sr)
+	}
+}

@@ -5,7 +5,11 @@
 // Usage:
 //
 //	crld [-addr :8785] [-seed-revocations N] [-fail-rate 0.02] [-now 2023-01-01]
-//	     [-debug-addr 127.0.0.1:0] [-log-format text|json]
+//	     [-debug-addr 127.0.0.1:0] [-log-format text|json] [-chaos-seed 0]
+//
+// A non-zero -chaos-seed wraps the listener in resil.NewChaosListener,
+// dropping a deterministic fraction of accepted connections on top of the
+// application-level -fail-rate 403s.
 //
 // The server hosts the reproduction's built-in CA directory; each CA is
 // seeded with synthetic revocations across the standard reason codes.
@@ -16,6 +20,7 @@ import (
 	"errors"
 	"flag"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -25,6 +30,7 @@ import (
 	"stalecert/internal/ca"
 	"stalecert/internal/crl"
 	"stalecert/internal/obs"
+	"stalecert/internal/resil"
 	"stalecert/internal/simtime"
 	"stalecert/internal/x509sim"
 )
@@ -36,6 +42,8 @@ func main() {
 	now := flag.String("now", "2023-01-01", "simulated current day (CRL thisUpdate)")
 	seed := flag.Int64("seed", 1, "randomness seed")
 	obsFlags := obs.BindFlags(flag.CommandLine)
+	var rf resil.Flags
+	rf.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	logger, stopDebug := obsFlags.Setup("crld")
@@ -67,7 +75,16 @@ func main() {
 	}
 
 	ready.OK()
-	logger.Info("serving CRLs", "cas", len(srv.Names()), "addr", *addr, "fail_rate", *failRate)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listen", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
+	if rf.ChaosSeed != 0 {
+		logger.Warn("chaos listener active", "seed", rf.ChaosSeed, "drop_rate", 0.2)
+		ln = resil.NewChaosListener(ln, rf.ChaosSeed, 0.2)
+	}
+	logger.Info("serving CRLs", "cas", len(srv.Names()), "addr", ln.Addr().String(), "fail_rate", *failRate)
 	for _, n := range srv.Names() {
 		logger.Debug("hosting", "path", "/crl/"+n)
 	}
@@ -75,9 +92,9 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	handler := obs.Middleware(obs.Default(), "crld", srv.Handler())
-	httpSrv := &http.Server{Addr: *addr, Handler: handler}
+	httpSrv := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
+	go func() { errc <- httpSrv.Serve(ln) }()
 	select {
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {

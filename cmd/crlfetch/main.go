@@ -5,6 +5,12 @@
 // Usage:
 //
 //	crlfetch -server http://127.0.0.1:8785 -cas Sectigo,DigiCert [-days 7] [-retries 2]
+//	         [-retry-max 4] [-breaker-threshold 0.5] [-chaos-seed 0]
+//
+// -retries is the per-CRL attempt budget inside one collection day (the
+// fetcher's own ledger-aware loop); the resil flags govern the shared
+// resilience layer, and a non-zero -chaos-seed injects deterministic faults
+// under the fetcher for collection-robustness experiments.
 //
 // With -cas omitted the built-in CA directory is fetched.
 package main
@@ -13,6 +19,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -21,6 +28,7 @@ import (
 	"stalecert/internal/ca"
 	"stalecert/internal/crl"
 	"stalecert/internal/obs"
+	"stalecert/internal/resil"
 )
 
 func main() {
@@ -30,6 +38,8 @@ func main() {
 	retries := flag.Int("retries", 2, "extra attempts per CRL per day")
 	timeout := flag.Duration("timeout", 30*time.Second, "overall timeout")
 	obsFlags := obs.BindFlags(flag.CommandLine)
+	var rf resil.Flags
+	rf.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	logger, stopDebug := obsFlags.Setup("crlfetch")
@@ -53,6 +63,9 @@ func main() {
 
 	ledger := crl.NewCoverageLedger()
 	fetcher := &crl.Fetcher{Base: *server, Ledger: ledger, Retries: *retries}
+	if opts := rf.Options("crl-fetcher"); opts.Chaos != nil {
+		fetcher.HC = &http.Client{Transport: opts.Chaos.WithBase(nil)}
+	}
 
 	reasonCounts := map[crl.Reason]int{}
 	var total int

@@ -5,7 +5,11 @@
 // Usage:
 //
 //	ctlogd [-addr :8784] [-name mylog] [-shard-start 2022-01-01 -shard-end 2023-01-01] [-seed-entries N]
-//	       [-debug-addr 127.0.0.1:0] [-log-format text|json]
+//	       [-debug-addr 127.0.0.1:0] [-log-format text|json] [-chaos-seed 0]
+//
+// A non-zero -chaos-seed wraps the listener in resil.NewChaosListener, which
+// drops a deterministic fraction of accepted connections — server-side fault
+// injection for exercising client reconnect paths in acceptance tests.
 //
 // With -seed-entries the log is pre-populated with synthetic certificates so
 // ctscan has something to fetch.
@@ -16,6 +20,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -24,6 +29,7 @@ import (
 
 	"stalecert/internal/ctlog"
 	"stalecert/internal/obs"
+	"stalecert/internal/resil"
 	"stalecert/internal/simtime"
 	"stalecert/internal/x509sim"
 )
@@ -36,6 +42,8 @@ func main() {
 	seedEntries := flag.Int("seed-entries", 0, "pre-populate with N synthetic certificates")
 	now := flag.String("now", "2023-01-01", "simulated current day for SCT timestamps")
 	obsFlags := obs.BindFlags(flag.CommandLine)
+	var rf resil.Flags
+	rf.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	logger, stopDebug := obsFlags.Setup("ctlogd")
@@ -84,15 +92,25 @@ func main() {
 
 	sth := l.STH()
 	ready.OK()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listen", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
+	if rf.ChaosSeed != 0 {
+		logger.Warn("chaos listener active", "seed", rf.ChaosSeed, "drop_rate", 0.2)
+		ln = resil.NewChaosListener(ln, rf.ChaosSeed, 0.2)
+	}
 	logger.Info("serving CT log", "name", l.Name(), "shard", l.Shard().String(),
-		"size", sth.Size, "addr", *addr)
+		"size", sth.Size, "addr", ln.Addr().String())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	handler := obs.Middleware(obs.Default(), "ctlogd", srv.Handler())
-	httpSrv := &http.Server{Addr: *addr, Handler: handler}
+	httpSrv := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
+	go func() { errc <- httpSrv.Serve(ln) }()
 	select {
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {

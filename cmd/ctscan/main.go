@@ -5,6 +5,10 @@
 // Usage:
 //
 //	ctscan -log http://127.0.0.1:8784 [-from N] [-verify] [-print]
+//	       [-retry-max 4] [-breaker-threshold 0.5] [-chaos-seed 0]
+//
+// Scrapes go through the resilience layer: transient log failures (connection
+// resets, 5xx, torn bodies) are retried with backoff before the scrape fails.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"stalecert/internal/core"
 	"stalecert/internal/ctlog"
 	"stalecert/internal/obs"
+	"stalecert/internal/resil"
 	"stalecert/internal/x509sim"
 )
 
@@ -28,6 +33,8 @@ func main() {
 	save := flag.String("save", "", "save scraped certificates to a corpus file")
 	timeout := flag.Duration("timeout", 30*time.Second, "overall scrape timeout")
 	obsFlags := obs.BindFlags(flag.CommandLine)
+	var rf resil.Flags
+	rf.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	logger, stopDebug := obsFlags.Setup("ctscan")
@@ -40,7 +47,7 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
-	client := ctlog.NewClient(*logURL, nil)
+	client := ctlog.NewClientWithOptions(*logURL, nil, rf.Options("ctscan"))
 	entries, sth, err := client.Scrape(ctx, ctlog.ScrapeOptions{From: *from, VerifyInclusion: *verify})
 	if err != nil {
 		logger.Error("scrape failed", "log", *logURL, "err", err)

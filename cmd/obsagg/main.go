@@ -10,6 +10,12 @@
 //	obsagg -targets ctlogd=http://127.0.0.1:9090,crld=http://127.0.0.1:9091 \
 //	       [-addr 127.0.0.1:8790] [-scrape-interval 10s] [-error-rate-threshold 0.1]
 //	       [-debug-addr 127.0.0.1:0] [-log-format text|json]
+//	       [-retry-max 4] [-breaker-threshold 0.5] [-chaos-seed 0]
+//
+// Scrapes run through the resilience layer (retries + per-peer circuit
+// breakers). When some targets are down the aggregator keeps serving their
+// last-good series: /metrics carries an X-Stale-Evidence header naming the
+// down targets and /readyz reports 200-degraded instead of 503.
 //
 // Endpoints:
 //
@@ -30,6 +36,7 @@ import (
 	"time"
 
 	"stalecert/internal/obs"
+	"stalecert/internal/resil"
 )
 
 func main() {
@@ -38,6 +45,8 @@ func main() {
 	interval := flag.Duration("scrape-interval", 10*time.Second, "scrape interval")
 	threshold := flag.Float64("error-rate-threshold", 0.1, "per-job 5xx/total fraction that raises an alert (0 disables)")
 	obsFlags := obs.BindFlags(flag.CommandLine)
+	var rf resil.Flags
+	rf.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	logger, stopDebug := obsFlags.Setup("obsagg")
@@ -57,6 +66,7 @@ func main() {
 		Logger:             logger,
 		ErrorRateThreshold: *threshold,
 		SelfJob:            "obsagg",
+		Client:             resil.NewHTTPClient(rf.Options("obsagg")),
 	}
 	obs.DefaultHealth().Register("first-scrape-round", agg.Ready)
 

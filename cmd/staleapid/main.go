@@ -22,6 +22,15 @@
 //	          [-dns 127.0.0.1:5353] [-crl http://127.0.0.1:8785]
 //	          [-now 2023-01-01] [-marker cloudflaressl.com]
 //	          [-cache-entries 1024] [-cache-ttl 5s] [-debug-addr 127.0.0.1:0]
+//	          [-retry-max 4] [-breaker-threshold 0.5] [-chaos-seed 0]
+//
+// Every outbound call (CT log tail, CRL fetches) goes through the resilience
+// layer: -retry-max bounds attempts, -breaker-threshold tunes the per-peer
+// circuit breakers (visible on the debug listener at /v1/breakers), and a
+// non-zero -chaos-seed injects deterministic faults for acceptance testing.
+// When live evidence fails but a last-good verdict is cached, the staleness
+// endpoint serves it with "degraded": true and an X-Stale-Evidence header
+// instead of a 502, and /readyz reports 200-degraded rather than 503.
 package main
 
 import (
@@ -44,6 +53,7 @@ import (
 	"stalecert/internal/dnssim"
 	"stalecert/internal/monitor"
 	"stalecert/internal/obs"
+	"stalecert/internal/resil"
 	"stalecert/internal/simtime"
 	"stalecert/internal/staleapi"
 	"stalecert/internal/whois"
@@ -65,6 +75,8 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 1024, "staleness cache capacity")
 	cacheTTL := flag.Duration("cache-ttl", 5*time.Second, "staleness cache TTL")
 	obsFlags := obs.BindFlags(flag.CommandLine)
+	var rf resil.Flags
+	rf.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	logger, stopDebug := obsFlags.Setup("staleapid")
@@ -101,14 +113,17 @@ func main() {
 			"segments", store.SegmentCount())
 	}
 
-	ing := certstore.NewIngester(store, ctlog.NewClient(*logURL, nil))
+	ing := certstore.NewIngester(store, ctlog.NewClientWithOptions(*logURL, nil, rf.Options("ctlog-client")))
 	srv := staleapi.NewServer(staleapi.Config{
 		Store:        store,
-		Evidence:     liveEvidence(*whoisAddr, *dnsAddr, *crlURL, *marker, nowDay),
+		Evidence:     liveEvidence(rf, *whoisAddr, *dnsAddr, *crlURL, *marker, nowDay),
 		Now:          func() simtime.Day { return nowDay },
 		CacheEntries: *cacheEntries,
 		CacheTTL:     *cacheTTL,
 	})
+	// Evidence failures degrade readiness (200 with a degraded body) rather
+	// than flipping the daemon unready: queries still answer from last-good.
+	obs.DefaultHealth().Register("evidence", srv.EvidenceProbe)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -154,8 +169,9 @@ func main() {
 // becomes a registrant-change event, a missing provider delegation becomes a
 // departure on the evaluation day, and the CA directory's CRLs supply
 // revocations. The shared core.DomainStaleness then applies the batch
-// pipelines' filters, so the API's verdicts match staled's.
-func liveEvidence(whoisAddr, dnsAddr, crlURL, marker string, now simtime.Day) staleapi.EvidenceFunc {
+// pipelines' filters, so the API's verdicts match staled's. CRL fetches run
+// under the flags' retry budget (and chaos injection when seeded).
+func liveEvidence(rf resil.Flags, whoisAddr, dnsAddr, crlURL, marker string, now simtime.Day) staleapi.EvidenceFunc {
 	var resolver *dnssim.Resolver
 	if dnsAddr != "" {
 		resolver = &dnssim.Resolver{ServerAddr: dnsAddr, Timeout: 2 * time.Second}
@@ -170,9 +186,19 @@ func liveEvidence(whoisAddr, dnsAddr, crlURL, marker string, now simtime.Day) st
 		return false
 	}
 	var crlNames []string
+	var fetcher *crl.Fetcher
 	if crlURL != "" {
 		for _, p := range ca.NewDirectory().All() {
 			crlNames = append(crlNames, p.Name)
+		}
+		fetcher = &crl.Fetcher{Base: crlURL}
+		if rf.RetryMax > 1 {
+			fetcher.Retries = rf.RetryMax - 1
+		}
+		if opts := rf.Options("crl-fetcher"); opts.Chaos != nil {
+			// The fetcher's own retry loop sits above the transport, so chaos
+			// slots directly under the instrumented client.
+			fetcher.HC = &http.Client{Transport: opts.Chaos.WithBase(nil)}
 		}
 	}
 	return func(ctx context.Context, domain string) (core.DomainEvidence, error) {
@@ -193,7 +219,6 @@ func liveEvidence(whoisAddr, dnsAddr, crlURL, marker string, now simtime.Day) st
 			}
 		}
 		if crlURL != "" {
-			fetcher := &crl.Fetcher{Base: crlURL}
 			lists, err := fetcher.FetchAll(ctx, crlNames)
 			if err != nil {
 				return ev, fmt.Errorf("crl fetch: %w", err)

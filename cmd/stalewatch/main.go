@@ -7,13 +7,19 @@
 //
 //	stalewatch -log http://127.0.0.1:8784 [-whois 127.0.0.1:4343] [-dns 127.0.0.1:5353]
 //	           [-crl http://127.0.0.1:8785] [-domains a.com,b.com] [-interval 10s] [-once]
-//	           [-jsonl] [-store DIR]
+//	           [-jsonl] [-store DIR] [-retry-max 4] [-breaker-threshold 0.5] [-chaos-seed 0]
 //
 // Point it at cmd/ctlogd, cmd/whoisd, cmd/dnsscand and cmd/crld instances
 // (or real deployments of the same protocols). With -jsonl every alert is
 // emitted as one JSON line for machine consumption. With -store the watcher
 // persists everything it polls into a certstore and resumes from its
 // checkpoint on restart — the same store staleapid serves queries from.
+//
+// CT polls ride the resilience layer: transient log failures are retried
+// within the poll round (resil.Retry on top of the instrumented client), and
+// when a peer's circuit breaker opens or closes the watcher emits an
+// operational alert — as a breaker_open/breaker_closed JSON line under
+// -jsonl, as a structured log line otherwise.
 package main
 
 import (
@@ -35,10 +41,19 @@ import (
 	"stalecert/internal/dnssim"
 	"stalecert/internal/monitor"
 	"stalecert/internal/obs"
+	"stalecert/internal/resil"
 	"stalecert/internal/revcheck"
 	"stalecert/internal/simtime"
 	"stalecert/internal/x509sim"
 )
+
+// breakerLine is the -jsonl wire form of a circuit-breaker transition.
+type breakerLine struct {
+	Kind string `json:"kind"`
+	Peer string `json:"peer"`
+	From string `json:"from"`
+	To   string `json:"to"`
+}
 
 // alertLine is the -jsonl wire form of one alert.
 type alertLine struct {
@@ -66,6 +81,8 @@ func main() {
 	jsonl := flag.Bool("jsonl", false, "emit alerts as JSON lines")
 	storeDir := flag.String("store", "", "persist polled entries into a certstore at this directory and resume from its checkpoint")
 	obsFlags := obs.BindFlags(flag.CommandLine)
+	var rf resil.Flags
+	rf.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	logger, stopDebug := obsFlags.Setup("stalewatch")
@@ -81,7 +98,30 @@ func main() {
 		os.Exit(2)
 	}
 
-	client := ctlog.NewClient(*logURL, nil)
+	// Breaker transitions are operator-facing events for a monitor: surface
+	// them on the alert stream (JSON lines under -jsonl) so a dead upstream
+	// is as visible as a stale certificate.
+	opts := rf.Options("stalewatch")
+	if !opts.NoBreaker {
+		opts.Breaker = resil.NewBreakerSet(resil.BreakerConfig{
+			Service:   "stalewatch",
+			Threshold: rf.BreakerThreshold,
+			OnStateChange: func(peer string, from, to resil.State) {
+				if *jsonl {
+					line, _ := json.Marshal(breakerLine{
+						Kind: "breaker_" + to.String(),
+						Peer: peer,
+						From: from.String(),
+						To:   to.String(),
+					})
+					fmt.Println(string(line))
+					return
+				}
+				logger.Warn("breaker state change", "peer", peer, "from", from.String(), "to", to.String())
+			},
+		})
+	}
+	client := ctlog.NewClientWithOptions(*logURL, nil, opts)
 	var watch []string
 	if *domains != "" {
 		watch = strings.Split(*domains, ",")
@@ -119,8 +159,22 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// Round-level retry on top of the client's per-request resilience: a poll
+	// that fails end-to-end (scrape + persist) gets the full backoff ladder
+	// before the round is abandoned until the next interval.
+	pollPolicy := resil.Policy{
+		Service:     "stalewatch-poll",
+		MaxAttempts: rf.RetryMax,
+		BaseDelay:   250 * time.Millisecond,
+		MaxDelay:    5 * time.Second,
+	}
 	for {
-		hits, err := watcher.Poll(ctx)
+		var hits []monitor.Hit
+		err := resil.Retry(ctx, pollPolicy, func(ctx context.Context) error {
+			var perr error
+			hits, perr = watcher.Poll(ctx)
+			return perr
+		})
 		if err != nil {
 			logger.Error("poll failed", "err", err)
 		}

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"stalecert/internal/dnssim"
+	"stalecert/internal/resil"
 	"stalecert/internal/simtime"
 )
 
@@ -98,9 +99,14 @@ func CleanupDNS01(z *dnssim.Zone, domain string) {
 // http://<domain>/.well-known/acme-challenge/<token> must return the token.
 // Endpoint maps a domain to the base URL of its web server (in production
 // this is DNS + port 80; in the simulator it is the test server address).
+// The fetch goes through the resilience stack: a flaky subscriber web server
+// (the common case in the wild) is retried before the challenge fails.
 type HTTP01Validator struct {
 	Endpoint func(domain string) (string, error)
 	Client   *http.Client
+
+	once sync.Once
+	rhc  *http.Client
 }
 
 // ValidateControl implements Validator.
@@ -110,11 +116,10 @@ func (v *HTTP01Validator) ValidateControl(domain, account string, _ simtime.Day)
 		return fmt.Errorf("ca: http-01 endpoint: %w", err)
 	}
 	token := Token(domain, account)
-	hc := v.Client
-	if hc == nil {
-		hc = http.DefaultClient
-	}
-	resp, err := hc.Get(base + WellKnownPath + token)
+	v.once.Do(func() {
+		v.rhc = resil.InstrumentClient(v.Client, resil.Options{Service: "acme-http01"})
+	})
+	resp, err := v.rhc.Get(base + WellKnownPath + token)
 	if err != nil {
 		return fmt.Errorf("ca: http-01 fetch: %w", err)
 	}

@@ -3,6 +3,7 @@ package certstore
 import (
 	"context"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"time"
 
@@ -15,11 +16,12 @@ import (
 // Ingester metrics: sync rounds, entries and certificates absorbed, lag
 // behind the log head at the end of the last round, and resume events.
 var (
-	mIngestRounds  = obs.Default().Counter("certstore_ingest_rounds_total")
-	mIngestErrors  = obs.Default().Counter("certstore_ingest_errors_total")
-	mIngestEntries = obs.Default().Counter("certstore_ingest_entries_total")
-	mIngestLag     = obs.Default().Gauge("certstore_ingest_lag_entries")
-	mIngestResumes = obs.Default().Counter("certstore_ingest_resumes_total")
+	mIngestRounds   = obs.Default().Counter("certstore_ingest_rounds_total")
+	mIngestErrors   = obs.Default().Counter("certstore_ingest_errors_total")
+	mIngestEntries  = obs.Default().Counter("certstore_ingest_entries_total")
+	mIngestLag      = obs.Default().Gauge("certstore_ingest_lag_entries")
+	mIngestResumes  = obs.Default().Counter("certstore_ingest_resumes_total")
+	mIngestBackoffs = obs.Default().Counter("certstore_ingest_backoffs_total")
 )
 
 // Ingester incrementally tails one CT log into a Store. The resume position
@@ -163,17 +165,31 @@ func (ing *Ingester) ingest(entries []ctlog.Entry, sth ctlog.SignedTreeHead) (in
 
 // Run syncs every interval until the context is cancelled, logging nothing
 // itself — callers observe progress through the metric families. The first
-// sync happens immediately.
+// sync happens immediately. A failed round does not end the loop: the
+// checkpoint stays where the last success left it and the next round is
+// scheduled with exponential backoff (interval … 32×interval), so an
+// ingester rides out a restarting log server and resumes tailing with no
+// gap or duplication once it returns.
 func (ing *Ingester) Run(ctx context.Context, interval time.Duration, onSync func(added int, err error)) {
+	wait := interval
 	for {
 		added, err := ing.Sync(ctx)
 		if onSync != nil {
 			onSync(added, err)
 		}
+		if err == nil || errors.Is(err, context.Canceled) {
+			wait = interval
+		} else {
+			mIngestBackoffs.Inc()
+			wait *= 2
+			if wait > 32*interval {
+				wait = 32 * interval
+			}
+		}
 		select {
 		case <-ctx.Done():
 			return
-		case <-time.After(interval):
+		case <-time.After(wait):
 		}
 	}
 }

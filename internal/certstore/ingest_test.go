@@ -3,16 +3,19 @@ package certstore
 import (
 	"context"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"stalecert/internal/core"
 	"stalecert/internal/crl"
 	"stalecert/internal/ctlog"
 	"stalecert/internal/dnssim"
+	"stalecert/internal/resil"
 	"stalecert/internal/simtime"
 	"stalecert/internal/whois"
 	"stalecert/internal/x509sim"
@@ -264,5 +267,131 @@ func TestIngesterDetectsRewrittenLog(t *testing.T) {
 	ing2 := NewIngester(store2, ctlog.NewClient(tsB.URL, tsB.Client()))
 	if _, err := ing2.Sync(context.Background()); err == nil {
 		t.Fatal("resumed ingester accepted a rewritten log")
+	}
+}
+
+// TestIngesterSurvivesLogRestart kills the log server mid-tail and restarts
+// it on the same address: Run must ride out the outage with backoff, keep
+// the checkpoint, and resume with no gap or duplicate entries.
+func TestIngesterSurvivesLogRestart(t *testing.T) {
+	log := ctlog.New("restart-log", ctlog.Shard{})
+	day := simtime.MustParse("2022-06-01")
+	var all []*x509sim.Certificate
+	addCerts := func(from, to uint64) {
+		t.Helper()
+		for i := from; i <= to; i++ {
+			c := mkCert(t, i, []string{fmt.Sprintf("restart%03d.com", i)}, 100, 1200)
+			if _, err := log.AddChain(c, day); err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, c)
+		}
+	}
+	addCerts(1, 20)
+
+	srv := ctlog.NewServer(log)
+	srv.SetNow(simtime.MustParse("2023-01-01"))
+	serve := func() (*http.Server, string) {
+		t.Helper()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		return hs, ln.Addr().String()
+	}
+	rebind := func(addr string) *http.Server {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			ln, err := net.Listen("tcp", addr)
+			if err == nil {
+				hs := &http.Server{Handler: srv.Handler()}
+				go func() { _ = hs.Serve(ln) }()
+				return hs
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("rebind %s: %v", addr, err)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	hs1, addr := serve()
+	client := ctlog.NewClientWithOptions("http://"+addr, nil, resil.Options{
+		Service:   "restart-test",
+		NoBreaker: true, // the test wants raw reconnect behaviour, not fail-fast
+		Policy:    resil.Policy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+	})
+
+	store, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	ing := NewIngester(store, client)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	totalAdded, errRounds := 0, 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ing.Run(ctx, 2*time.Millisecond, func(added int, err error) {
+			mu.Lock()
+			totalAdded += added
+			if err != nil && ctx.Err() == nil {
+				errRounds++
+			}
+			mu.Unlock()
+		})
+	}()
+
+	waitFor := func(cond func() bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	waitFor(func() bool { return store.Len() == 20 }, "initial tail")
+
+	// Kill the server mid-tail and grow the log while it is down.
+	_ = hs1.Close()
+	addCerts(21, 35)
+	waitFor(func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return errRounds > 0
+	}, "a failed round during the outage")
+
+	hs2 := rebind(addr)
+	defer hs2.Close()
+	waitFor(func() bool { return store.Len() == len(all) }, "resume after restart")
+
+	cancel()
+	<-done
+
+	// No gap, no duplicate: every cert present, added counts sum exactly,
+	// checkpoint at the head.
+	mu.Lock()
+	if totalAdded != len(all) {
+		t.Fatalf("total added = %d, want %d (duplicates or gaps)", totalAdded, len(all))
+	}
+	mu.Unlock()
+	for _, c := range all {
+		if _, ok := store.ByFingerprint(c.Fingerprint()); !ok {
+			t.Fatalf("missing cert %v after restart", c)
+		}
+	}
+	cp, ok := store.Checkpoint()
+	if !ok || cp.NextIndex != uint64(len(all)) {
+		t.Fatalf("checkpoint = %+v %v, want NextIndex %d", cp, ok, len(all))
 	}
 }

@@ -2,6 +2,7 @@ package crl
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -9,8 +10,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"stalecert/internal/obs"
+	"stalecert/internal/resil"
 	"stalecert/internal/simtime"
 )
 
@@ -229,24 +232,52 @@ func (l *CoverageLedger) Total() Coverage {
 	return t
 }
 
-// Fetcher downloads CRLs from a Server over HTTP, retrying failures, and
-// records outcomes in a ledger.
+// Fetcher downloads CRLs from a Server over HTTP, retrying failures through
+// resil.Retry, and records outcomes in a ledger.
 type Fetcher struct {
 	Base    string // server base URL
 	HC      *http.Client
 	Ledger  *CoverageLedger
 	Retries int // extra attempts per CRL per day (default 2)
+	// Backoff is the first retry delay (default 5ms — distribution points in
+	// the simulation answer instantly, and anti-scraping blocks clear on
+	// re-request rather than with time).
+	Backoff time.Duration
+}
+
+// classify maps a fetch error for the retry loop: cancellation is terminal,
+// while every HTTP status — including the 403s anti-scraping endpoints throw
+// — is worth another attempt, matching the paper's collection methodology.
+func classify(err error) resil.Verdict {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return resil.Terminal
+	}
+	return resil.Retryable
 }
 
 // FetchAll performs one daily collection over the named CAs, returning the
 // successfully fetched lists keyed by CA name. The HTTP client is wrapped in
 // an obs.Transport (request-ID propagation, per-peer metrics) unless the
-// caller already supplied an instrumented one.
+// caller already supplied an instrumented one; retry/backoff policy lives in
+// this loop rather than the transport so ledger accounting sees exactly one
+// outcome per CA per day.
 func (f *Fetcher) FetchAll(ctx context.Context, names []string) (map[string]*List, error) {
 	hc := obs.InstrumentClient(f.HC, "crl-fetcher")
 	retries := f.Retries
 	if retries == 0 {
 		retries = 2
+	}
+	backoff := f.Backoff
+	if backoff <= 0 {
+		backoff = 5 * time.Millisecond
+	}
+	policy := resil.Policy{
+		Service:     "crl-fetcher",
+		MaxAttempts: retries + 1,
+		BaseDelay:   backoff,
+		MaxDelay:    100 * backoff,
+		Classify:    classify,
+		OnRetry:     func(int, error, time.Duration) { mFetchRetries.Inc() },
 	}
 	out := make(map[string]*List, len(names))
 	for _, name := range names {
@@ -256,28 +287,20 @@ func (f *Fetcher) FetchAll(ctx context.Context, names []string) (map[string]*Lis
 			return out, ctx.Err()
 		}
 		var list *List
-		var lastErr error
-		canceled := false
-		for attempt := 0; attempt <= retries; attempt++ {
-			if attempt > 0 {
-				mFetchRetries.Inc()
-			}
-			l, err := f.fetchOne(ctx, hc, name)
-			if err == nil {
+		err := resil.Retry(ctx, policy, func(ctx context.Context) error {
+			l, ferr := f.fetchOne(ctx, hc, name)
+			if ferr == nil {
 				list = l
-				break
 			}
-			lastErr = err
-			if ctx.Err() != nil {
-				canceled = true
-				break
-			}
-		}
+			return ferr
+		})
 		outcome := OutcomeOK
+		canceled := false
 		switch {
-		case list != nil:
-		case canceled:
+		case err == nil:
+		case errors.Is(err, context.Canceled), ctx.Err() != nil:
 			outcome = OutcomeCanceled
+			canceled = true
 		default:
 			outcome = OutcomeRetryExhausted
 		}
@@ -287,8 +310,6 @@ func (f *Fetcher) FetchAll(ctx context.Context, names []string) (map[string]*Lis
 		fetchOutcomeCounter(name, outcome).Inc()
 		if list != nil {
 			out[name] = list
-		} else {
-			_ = lastErr // coverage ledger carries the failure; partial results are the contract
 		}
 		if canceled {
 			return out, ctx.Err()
@@ -308,7 +329,11 @@ func (f *Fetcher) fetchOne(ctx context.Context, hc *http.Client, name string) (*
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("crl: fetch %s: status %d", name, resp.StatusCode)
+		// Drain before returning so the keep-alive connection is reusable by
+		// the retry that's about to happen instead of being torn down.
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
+		return nil, fmt.Errorf("crl: fetch %s: %w", name,
+			&resil.HTTPError{StatusCode: resp.StatusCode, Status: resp.Status})
 	}
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {

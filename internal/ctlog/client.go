@@ -14,6 +14,7 @@ import (
 
 	"stalecert/internal/merkle"
 	"stalecert/internal/obs"
+	"stalecert/internal/resil"
 	"stalecert/internal/simtime"
 	"stalecert/internal/x509sim"
 )
@@ -36,12 +37,21 @@ type Client struct {
 }
 
 // NewClient creates a client for the log at baseURL (e.g. the httptest server
-// URL). If hc is nil, the default client is used, wrapped in an
-// obs.Transport so every hop carries a request ID and records per-peer
-// latency/outcome metrics; a caller-supplied client is instrumented the same
-// way unless it already is.
+// URL). If hc is nil, the default client is used. Either way the client is
+// wrapped in the full resilience stack — retries with backoff, per-peer
+// circuit breaking, and obs instrumentation (request-ID propagation,
+// per-peer latency/outcome metrics) — unless it already is.
 func NewClient(baseURL string, hc *http.Client) *Client {
-	return &Client{base: baseURL, hc: obs.InstrumentClient(hc, "ctlog-client")}
+	return NewClientWithOptions(baseURL, hc, resil.Options{Service: "ctlog-client"})
+}
+
+// NewClientWithOptions creates a client with explicit resilience options
+// (daemons pass their resil.Flags.Options; tests pass chaos wiring).
+func NewClientWithOptions(baseURL string, hc *http.Client, opts resil.Options) *Client {
+	if opts.Service == "" {
+		opts.Service = "ctlog-client"
+	}
+	return &Client{base: baseURL, hc: resil.InstrumentClient(hc, opts)}
 }
 
 // RemoteError is a non-2xx response from the log.

@@ -32,8 +32,8 @@ func ParseProm(r io.Reader) ([]Sample, error) {
 	kinds := make(map[string]Kind)
 	type hkey struct{ family, labels string }
 	order := []string{}
-	flat := make(map[string]*Sample)   // counters and gauges by family+labels
-	hists := make(map[hkey]*Sample)    // histograms being reassembled
+	flat := make(map[string]*Sample) // counters and gauges by family+labels
+	hists := make(map[hkey]*Sample)  // histograms being reassembled
 	horder := []hkey{}
 
 	sc := bufio.NewScanner(r)
@@ -565,25 +565,57 @@ func (a *Aggregator) Federated() []Sample {
 	return out
 }
 
-// Ready is a readiness probe: the aggregator is ready once a scrape round
-// has completed.
-func (a *Aggregator) Ready(context.Context) error {
+// DownTargets lists targets whose last scrape failed ("job@instance"),
+// sorted — the fleet view still carries their previous round's series.
+func (a *Aggregator) DownTargets() []string {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
-	if a.rounds == 0 {
+	var down []string
+	for _, st := range a.states {
+		if st.lastErr != nil {
+			down = append(down, st.target.Job+"@"+st.target.Instance())
+		}
+	}
+	sort.Strings(down)
+	return down
+}
+
+// Ready is a readiness probe with three-way semantics: unready (hard error)
+// until the first scrape round completes, Degraded while any target's last
+// scrape failed (the fleet view serves that target's last-good series), nil
+// when every target answered.
+func (a *Aggregator) Ready(context.Context) error {
+	a.mu.RLock()
+	rounds := a.rounds
+	a.mu.RUnlock()
+	if rounds == 0 {
 		return fmt.Errorf("no scrape round completed yet")
+	}
+	if down := a.DownTargets(); len(down) > 0 {
+		return Degraded(fmt.Errorf("serving last-good series for down targets: %s",
+			strings.Join(down, ", ")))
 	}
 	return nil
 }
+
+// StaleEvidenceHeader marks a response that includes last-good data for an
+// upstream that is currently failing; the value names the stale sources.
+const StaleEvidenceHeader = "X-Stale-Evidence"
 
 // Handler serves the fleet surface:
 //
 //	/metrics  the federated exposition (every job's series + job/instance labels)
 //	/fleet    a plain-text per-target summary (up/down, last scrape, series)
+//
+// While any target is down, /metrics responses carry an X-Stale-Evidence
+// header naming the targets whose series are served from the last good round.
 func (a *Aggregator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if down := a.DownTargets(); len(down) > 0 {
+			w.Header().Set(StaleEvidenceHeader, strings.Join(down, ", "))
+		}
 		WriteSamples(w, a.Federated())
 	})
 	mux.HandleFunc("GET /fleet", func(w http.ResponseWriter, _ *http.Request) {

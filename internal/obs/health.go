@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -83,10 +84,17 @@ func (h *Health) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (h *Health) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
 	defer cancel()
-	results := h.Check(ctx)
+	WriteReadyz(w, h.Check(ctx))
+}
+
+// WriteReadyz renders probe results with three-way semantics: any hard
+// failure → 503 unready; only Degraded failures → 200 with the degradations
+// listed (the daemon serves, on last-good data); all clean → 200 ready.
+// Exported so daemons with bespoke readyz handlers keep the same contract.
+func WriteReadyz(w http.ResponseWriter, results []ProbeResult) {
 	status := http.StatusOK
 	for _, res := range results {
-		if res.Err != nil {
+		if res.Err != nil && !IsDegraded(res.Err) {
 			status = http.StatusServiceUnavailable
 			break
 		}
@@ -98,12 +106,38 @@ func (h *Health) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	for _, res := range results {
-		if res.Err != nil {
-			fmt.Fprintf(w, "not-ready %s: %v\n", res.Name, res.Err)
-		} else {
+		switch {
+		case res.Err == nil:
 			fmt.Fprintf(w, "ready %s\n", res.Name)
+		case IsDegraded(res.Err):
+			fmt.Fprintf(w, "degraded %s: %v\n", res.Name, res.Err)
+		default:
+			fmt.Fprintf(w, "not-ready %s: %v\n", res.Name, res.Err)
 		}
 	}
+}
+
+// degradedError marks a probe failure as "degraded": the daemon still
+// serves — on last-good data — so orchestrators should keep routing to it.
+type degradedError struct{ err error }
+
+func (e *degradedError) Error() string { return "degraded: " + e.err.Error() }
+func (e *degradedError) Unwrap() error { return e.err }
+
+// Degraded wraps a probe error to downgrade it from unready (503) to
+// degraded (200 with the condition listed): the daemon is impaired but still
+// serving useful responses. Degraded(nil) is nil.
+func Degraded(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &degradedError{err: err}
+}
+
+// IsDegraded reports whether err carries the Degraded marker.
+func IsDegraded(err error) bool {
+	var de *degradedError
+	return errors.As(err, &de)
 }
 
 // Ready is a settable readiness condition: it starts failing with a reason

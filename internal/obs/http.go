@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync"
 )
 
 // Handler serves the debug surface for a registry with the process-wide
@@ -21,7 +22,25 @@ import (
 //	/debug/pprof  the net/http/pprof profiles
 //	/healthz      liveness (always 200 while the process serves)
 //	/readyz       readiness: 200 once every registered probe passes
+//
+// plus any extensions added via RegisterDebug.
 func Handler(r *Registry) http.Handler { return HandlerFor(r, DefaultHealth()) }
+
+// Process-wide debug-surface extensions (e.g. resil's /v1/breakers). Other
+// packages register here from init so obs never needs to import them.
+var (
+	debugExtMu sync.Mutex
+	debugExt   = map[string]http.Handler{}
+)
+
+// RegisterDebug mounts handler at pattern (http.ServeMux syntax) on every
+// debug mux built afterwards. Intended for package init: last registration
+// for a pattern wins, so re-registering is safe.
+func RegisterDebug(pattern string, handler http.Handler) {
+	debugExtMu.Lock()
+	debugExt[pattern] = handler
+	debugExtMu.Unlock()
+}
 
 // HandlerFor serves the debug surface for an explicit registry and probe set
 // (tests and the federation aggregator construct private ones).
@@ -42,6 +61,11 @@ func HandlerFor(r *Registry, health *Health) http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("GET /healthz", health.handleHealthz)
 	mux.HandleFunc("GET /readyz", health.handleReadyz)
+	debugExtMu.Lock()
+	for pattern, h := range debugExt {
+		mux.Handle(pattern, h)
+	}
+	debugExtMu.Unlock()
 	return mux
 }
 

@@ -1,0 +1,407 @@
+package resil
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"stalecert/internal/obs"
+)
+
+// ErrOpen is returned (wrapped with the peer) when a circuit rejects a call.
+// DefaultClassify treats it as terminal: the point of a breaker is to fail
+// fast, not to queue retries behind a down peer.
+var ErrOpen = errors.New("resil: circuit open")
+
+// State is a breaker's position.
+type State uint8
+
+// Breaker states. The gauge resil_breaker_state exports the numeric value.
+const (
+	Closed   State = iota // normal operation, calls flow
+	Open                  // failing fast, calls rejected until the cooldown
+	HalfOpen              // admitting a bounded number of probes
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "state?"
+}
+
+// BreakerConfig tunes a BreakerSet. The zero value applies the documented
+// defaults.
+type BreakerConfig struct {
+	// Service labels the breaker metric families.
+	Service string
+	// Window is the sliding failure-rate window (default 30s).
+	Window time.Duration
+	// Buckets subdivides the window (default 10).
+	Buckets int
+	// Threshold is the failure fraction in the window that opens the
+	// circuit (default 0.5).
+	Threshold float64
+	// MinRequests is the window volume below which the circuit never opens
+	// (default 10) — a single failed call out of one must not trip.
+	MinRequests int
+	// Cooldown is how long an open circuit rejects before admitting probes
+	// (default 5s).
+	Cooldown time.Duration
+	// HalfOpenProbes bounds concurrent probes in half-open (default 1).
+	HalfOpenProbes int
+	// Clock paces the window and cooldown (default: the real clock).
+	Clock Clock
+	// OnStateChange observes transitions (called outside the breaker lock).
+	OnStateChange func(peer string, from, to State)
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Service == "" {
+		c.Service = "unnamed"
+	}
+	if c.Window <= 0 {
+		c.Window = 30 * time.Second
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 10
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.5
+	}
+	if c.MinRequests <= 0 {
+		c.MinRequests = 10
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.Clock == nil {
+		c.Clock = realClock{}
+	}
+	return c
+}
+
+type bucket struct {
+	ok   uint64
+	fail uint64
+}
+
+// Breaker is one peer's three-state circuit: closed while the sliding-window
+// failure rate stays under the threshold, open (rejecting) after it trips,
+// half-open (admitting bounded probes) after the cooldown. All methods are
+// safe for concurrent use.
+type Breaker struct {
+	cfg  BreakerConfig
+	peer string
+
+	mu          sync.Mutex
+	state       State
+	buckets     []bucket
+	cur         int
+	bucketStart time.Time
+	openedAt    time.Time
+	probes      int
+	trips       uint64
+
+	stateGauge *obs.Gauge
+	tripsCtr   *obs.Counter
+	rejectsCtr *obs.Counter
+}
+
+func newBreaker(cfg BreakerConfig, peer string) *Breaker {
+	b := &Breaker{
+		cfg:         cfg,
+		peer:        peer,
+		buckets:     make([]bucket, cfg.Buckets),
+		bucketStart: cfg.Clock.Now(),
+		stateGauge:  obs.Default().Gauge("resil_breaker_state", "service", cfg.Service, "peer", peer),
+		tripsCtr:    obs.Default().Counter("resil_breaker_trips_total", "service", cfg.Service, "peer", peer),
+		rejectsCtr:  obs.Default().Counter("resil_breaker_rejected_total", "service", cfg.Service, "peer", peer),
+	}
+	b.stateGauge.Set(float64(Closed))
+	return b
+}
+
+// rotate advances the bucket ring to now, zeroing buckets the window slid
+// past. Caller holds b.mu.
+func (b *Breaker) rotate(now time.Time) {
+	width := b.cfg.Window / time.Duration(b.cfg.Buckets)
+	for now.Sub(b.bucketStart) >= width {
+		b.cur = (b.cur + 1) % len(b.buckets)
+		b.buckets[b.cur] = bucket{}
+		b.bucketStart = b.bucketStart.Add(width)
+		if now.Sub(b.bucketStart) >= b.cfg.Window {
+			// Idle long enough that the whole window expired; reset
+			// wholesale instead of spinning bucket by bucket.
+			for i := range b.buckets {
+				b.buckets[i] = bucket{}
+			}
+			b.bucketStart = now
+		}
+	}
+}
+
+// window sums the ring. Caller holds b.mu.
+func (b *Breaker) window() (ok, fail uint64) {
+	for _, bk := range b.buckets {
+		ok += bk.ok
+		fail += bk.fail
+	}
+	return ok, fail
+}
+
+// transition moves to next and returns a callback to run outside the lock.
+// Caller holds b.mu.
+func (b *Breaker) transition(next State, now time.Time) func() {
+	from := b.state
+	if from == next {
+		return nil
+	}
+	b.state = next
+	b.stateGauge.Set(float64(next))
+	switch next {
+	case Open:
+		b.openedAt = now
+		b.trips++
+		b.tripsCtr.Inc()
+	case HalfOpen:
+		b.probes = 0
+	case Closed:
+		for i := range b.buckets {
+			b.buckets[i] = bucket{}
+		}
+		b.bucketStart = now
+	}
+	if cb := b.cfg.OnStateChange; cb != nil {
+		peer := b.peer
+		return func() { cb(peer, from, next) }
+	}
+	return nil
+}
+
+// Allow admits or rejects one call. On admission it returns a report
+// function the caller MUST invoke exactly once with the call's outcome; on
+// rejection it returns an error wrapping ErrOpen.
+func (b *Breaker) Allow() (report func(ok bool), err error) {
+	now := b.cfg.Clock.Now()
+	b.mu.Lock()
+	b.rotate(now)
+	var notify func()
+	switch b.state {
+	case Open:
+		if now.Sub(b.openedAt) < b.cfg.Cooldown {
+			b.mu.Unlock()
+			b.rejectsCtr.Inc()
+			return nil, fmt.Errorf("%w: peer %s", ErrOpen, b.peer)
+		}
+		notify = b.transition(HalfOpen, now)
+		fallthrough
+	case HalfOpen:
+		if b.probes >= b.cfg.HalfOpenProbes {
+			b.mu.Unlock()
+			if notify != nil {
+				notify()
+			}
+			b.rejectsCtr.Inc()
+			return nil, fmt.Errorf("%w: peer %s (half-open, probes busy)", ErrOpen, b.peer)
+		}
+		b.probes++
+		b.mu.Unlock()
+		if notify != nil {
+			notify()
+		}
+		return b.reportProbe, nil
+	default: // Closed
+		b.mu.Unlock()
+		return b.reportClosed, nil
+	}
+}
+
+// reportClosed records a closed-state outcome and trips the circuit when the
+// window crosses the threshold.
+func (b *Breaker) reportClosed(ok bool) {
+	now := b.cfg.Clock.Now()
+	b.mu.Lock()
+	b.rotate(now)
+	if b.state != Closed {
+		// A concurrent probe already moved the state; the stale outcome
+		// still lands in the window but must not re-trip.
+		if ok {
+			b.buckets[b.cur].ok++
+		} else {
+			b.buckets[b.cur].fail++
+		}
+		b.mu.Unlock()
+		return
+	}
+	if ok {
+		b.buckets[b.cur].ok++
+	} else {
+		b.buckets[b.cur].fail++
+	}
+	okN, failN := b.window()
+	var notify func()
+	if total := okN + failN; !ok && total >= uint64(b.cfg.MinRequests) &&
+		float64(failN)/float64(total) >= b.cfg.Threshold {
+		notify = b.transition(Open, now)
+	}
+	b.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+}
+
+// reportProbe resolves a half-open probe: success closes the circuit,
+// failure re-opens it for another cooldown.
+func (b *Breaker) reportProbe(ok bool) {
+	now := b.cfg.Clock.Now()
+	b.mu.Lock()
+	if b.state != HalfOpen {
+		b.mu.Unlock()
+		return
+	}
+	b.probes--
+	var notify func()
+	if ok {
+		notify = b.transition(Closed, now)
+	} else {
+		notify = b.transition(Open, now)
+	}
+	b.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+}
+
+// State returns the current state (after window rotation).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// BreakerStatus is one peer's snapshot for /v1/breakers.
+type BreakerStatus struct {
+	Service    string `json:"service"`
+	Peer       string `json:"peer"`
+	State      string `json:"state"`
+	WindowOK   uint64 `json:"window_ok"`
+	WindowFail uint64 `json:"window_fail"`
+	Trips      uint64 `json:"trips"`
+}
+
+// BreakerSet holds one Breaker per peer under a shared config, the unit a
+// client wires in: every outbound host gets its own circuit.
+type BreakerSet struct {
+	cfg BreakerConfig
+	mu  sync.Mutex
+	by  map[string]*Breaker
+}
+
+// NewBreakerSet creates a per-peer breaker family and registers it on the
+// process-wide /v1/breakers debug surface.
+func NewBreakerSet(cfg BreakerConfig) *BreakerSet {
+	s := &BreakerSet{cfg: cfg.withDefaults(), by: make(map[string]*Breaker)}
+	registerSet(s)
+	return s
+}
+
+// For returns (creating on first use) the breaker for one peer.
+func (s *BreakerSet) For(peer string) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.by[peer]
+	if b == nil {
+		b = newBreaker(s.cfg, peer)
+		s.by[peer] = b
+	}
+	return b
+}
+
+// Snapshot returns every peer's status, sorted by peer.
+func (s *BreakerSet) Snapshot() []BreakerStatus {
+	s.mu.Lock()
+	breakers := make([]*Breaker, 0, len(s.by))
+	for _, b := range s.by {
+		breakers = append(breakers, b)
+	}
+	s.mu.Unlock()
+	out := make([]BreakerStatus, 0, len(breakers))
+	for _, b := range breakers {
+		b.mu.Lock()
+		b.rotate(b.cfg.Clock.Now())
+		ok, fail := b.window()
+		out = append(out, BreakerStatus{
+			Service:    b.cfg.Service,
+			Peer:       b.peer,
+			State:      b.state.String(),
+			WindowOK:   ok,
+			WindowFail: fail,
+			Trips:      b.trips,
+		})
+		b.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Service != out[j].Service {
+			return out[i].Service < out[j].Service
+		}
+		return out[i].Peer < out[j].Peer
+	})
+	return out
+}
+
+// Process-wide registry of breaker sets backing the /v1/breakers endpoint.
+var (
+	setsMu sync.Mutex
+	sets   []*BreakerSet
+)
+
+func registerSet(s *BreakerSet) {
+	setsMu.Lock()
+	sets = append(sets, s)
+	setsMu.Unlock()
+}
+
+// Handler serves GET /v1/breakers: a JSON array of every breaker in the
+// process (all sets, all peers), the debug view of circuit health.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		setsMu.Lock()
+		all := append([]*BreakerSet(nil), sets...)
+		setsMu.Unlock()
+		var out []BreakerStatus
+		for _, s := range all {
+			out = append(out, s.Snapshot()...)
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Service != out[j].Service {
+				return out[i].Service < out[j].Service
+			}
+			return out[i].Peer < out[j].Peer
+		})
+		if out == nil {
+			out = []BreakerStatus{}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	})
+}
+
+func init() {
+	obs.RegisterDebug("GET /v1/breakers", Handler())
+}

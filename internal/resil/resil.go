@@ -1,0 +1,115 @@
+// Package resil is the fleet-wide resilience layer: policy-driven retries
+// with exponential backoff and Retry-After honoring (Retry), per-peer
+// three-state circuit breakers exported as obs metrics and a /v1/breakers
+// debug endpoint (Breaker/BreakerSet), deterministic fault injection for
+// chaos tests (Chaos/ChaosListener), and an http.RoundTripper composing all
+// of it (Transport).
+//
+// The composition order for an instrumented client is
+//
+//	resil.Transport → resil.Chaos (tests only) → obs.Transport → net/http
+//
+// so every attempt — including injected and retried ones — is individually
+// traced and counted by the obs layer, while the caller above the resilient
+// transport sees only the final outcome.
+//
+// Everything is stdlib-only and safe for concurrent use.
+package resil
+
+import (
+	"flag"
+	"net/http"
+
+	"stalecert/internal/obs"
+)
+
+// Options configures InstrumentClient / NewHTTPClient for one service.
+type Options struct {
+	// Service labels every metric family and defaults the policy's service.
+	Service string
+	// Policy drives the retry loop (zero value = documented defaults).
+	Policy Policy
+	// Breaker supplies a shared per-peer breaker family; nil creates one
+	// from BreakerConfig defaults unless NoBreaker is set.
+	Breaker *BreakerSet
+	// NoBreaker disables circuit breaking entirely.
+	NoBreaker bool
+	// Chaos, when non-nil, injects faults between the resilient transport
+	// and the instrumented base — test wiring only.
+	Chaos *Chaos
+}
+
+// InstrumentClient wraps hc (nil = default-client semantics) so every call
+// goes through the full resilience stack: retries, per-peer circuit
+// breaking, per-attempt obs instrumentation, and optional chaos injection.
+// The original client is not mutated; a client already carrying a
+// resil.Transport is returned unchanged.
+func InstrumentClient(hc *http.Client, opts Options) *http.Client {
+	if opts.Policy.Service == "" {
+		opts.Policy.Service = opts.Service
+	}
+	if hc != nil {
+		if _, ok := hc.Transport.(*Transport); ok {
+			return hc // already resilient
+		}
+	}
+	// Per-attempt instrumentation first, so each retry is its own traced,
+	// counted client call.
+	instrumented := obs.InstrumentClient(hc, opts.Service)
+	base := instrumented.Transport
+	if opts.Chaos != nil {
+		base = opts.Chaos.WithBase(base)
+	}
+	breakers := opts.Breaker
+	if breakers == nil && !opts.NoBreaker {
+		breakers = NewBreakerSet(BreakerConfig{Service: opts.Service})
+	}
+	wrapped := *instrumented
+	wrapped.Transport = &Transport{Base: base, Policy: opts.Policy, Breakers: breakers}
+	return &wrapped
+}
+
+// NewHTTPClient returns a fresh fully-instrumented client.
+func NewHTTPClient(opts Options) *http.Client { return InstrumentClient(nil, opts) }
+
+// Flags is the standard daemon flag set for the resilience layer. Bind it
+// next to obs.Flags in every main:
+//
+//	var rf resil.Flags
+//	rf.BindFlags(flag.CommandLine)
+//	flag.Parse()
+//	hc := resil.NewHTTPClient(rf.Options("my-service"))
+type Flags struct {
+	// RetryMax is the total attempt budget (-retry-max, default 4).
+	RetryMax int
+	// BreakerThreshold is the windowed failure fraction that opens a
+	// circuit (-breaker-threshold, default 0.5; 0 disables breaking).
+	BreakerThreshold float64
+	// ChaosSeed, when non-zero, injects ~20% faults into every outbound
+	// call using the given deterministic seed (-chaos-seed, test-only).
+	ChaosSeed int64
+}
+
+// BindFlags registers the resilience flags on fs.
+func (f *Flags) BindFlags(fs *flag.FlagSet) {
+	fs.IntVar(&f.RetryMax, "retry-max", 4, "total outbound attempt budget including the first (1 disables retries)")
+	fs.Float64Var(&f.BreakerThreshold, "breaker-threshold", 0.5, "windowed failure fraction that opens a peer's circuit (0 disables breaking)")
+	fs.Int64Var(&f.ChaosSeed, "chaos-seed", 0, "TEST ONLY: non-zero seed injects ~20% deterministic faults into outbound calls")
+}
+
+// Options materializes the bound flags into client options for one service.
+func (f *Flags) Options(service string) Options {
+	opts := Options{
+		Service: service,
+		Policy:  Policy{Service: service, MaxAttempts: f.RetryMax},
+	}
+	if f.BreakerThreshold <= 0 {
+		opts.NoBreaker = true
+	} else {
+		opts.Breaker = NewBreakerSet(BreakerConfig{Service: service, Threshold: f.BreakerThreshold})
+	}
+	if f.ChaosSeed != 0 {
+		opts.Chaos = NewChaos(nil, f.ChaosSeed, DefaultRates(0.2))
+	}
+	return opts
+}

@@ -1,0 +1,192 @@
+package resil
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// DefaultMaxBodyBytes bounds how much of a response the transport buffers to
+// make attempts replayable (matches the largest consumer, the CRL fetcher).
+const DefaultMaxBodyBytes = 64 << 20
+
+// Transport is the resilient http.RoundTripper: per-peer circuit breaking,
+// policy-driven retries with exponential backoff and Retry-After honoring,
+// and torn-body recovery (responses are buffered, so a connection cut
+// mid-body is retried like any other transient failure instead of surfacing
+// to the decoder).
+//
+// Semantics are preserved for callers: the final attempt's response —
+// including a final 429/5xx after the retry budget is spent — is returned
+// with its body intact, so status-code handling in existing clients keeps
+// working; only the transient failures in between disappear.
+type Transport struct {
+	// Base performs the actual round trips (default http.DefaultTransport).
+	Base http.RoundTripper
+	// Policy drives the retry loop.
+	Policy Policy
+	// Breakers, when set, gates every attempt through the peer's circuit.
+	Breakers *BreakerSet
+	// MaxBodyBytes caps response buffering (default DefaultMaxBodyBytes).
+	// Larger bodies are streamed through un-buffered and not retryable
+	// mid-read.
+	MaxBodyBytes int64
+}
+
+// cancelBody ties a per-attempt context cancel to body close for responses
+// too large to buffer.
+type cancelBody struct {
+	io.Reader
+	close  func() error
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Close() error {
+	err := b.close()
+	if b.cancel != nil {
+		b.cancel()
+	}
+	return err
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	p := t.Policy.withDefaults()
+	maxBody := t.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
+	ctx := req.Context()
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, joinCtx(err, lastErr)
+		}
+		if attempt > 1 && req.Body != nil && req.GetBody == nil {
+			// The body was consumed and cannot be replayed.
+			return nil, fmt.Errorf("resil: cannot retry request with unreplayable body: %w", lastErr)
+		}
+		resp, err, final := t.attempt(req, p, attempt, maxBody)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if final != nil {
+			// Retry budget spent on a retryable status: hand the caller the
+			// real response rather than a synthesized error.
+			return final, nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, joinCtx(cerr, lastErr)
+		}
+		verdict := p.Classify(err)
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			verdict = Retryable // per-attempt budget, overall context is live
+		}
+		if verdict == Terminal || attempt >= p.MaxAttempts {
+			return nil, lastErr
+		}
+		delay := p.delay(attempt, err)
+		if deadline, ok := ctx.Deadline(); ok && p.Clock.Now().Add(delay).After(deadline) {
+			return nil, joinCtx(context.DeadlineExceeded, lastErr)
+		}
+		retryCounter(p.Service).Inc()
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, err, delay)
+		}
+		if serr := p.Clock.Sleep(ctx, delay); serr != nil {
+			return nil, joinCtx(serr, lastErr)
+		}
+	}
+}
+
+// attempt runs one round trip. It returns either a delivered response
+// (err == nil), an error to classify, or — when the status is retryable but
+// this was the last allowed attempt — the response itself via final.
+func (t *Transport) attempt(req *http.Request, p Policy, attempt int, maxBody int64) (resp *http.Response, err error, final *http.Response) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	var report func(bool)
+	if t.Breakers != nil {
+		var berr error
+		report, berr = t.Breakers.For(req.URL.Host).Allow()
+		if berr != nil {
+			return nil, berr, nil
+		}
+	} else {
+		report = func(bool) {}
+	}
+
+	ctx := req.Context()
+	cancel := context.CancelFunc(nil)
+	if p.PerAttempt > 0 {
+		ctx, cancel = context.WithTimeout(ctx, p.PerAttempt)
+	}
+	areq := req.Clone(ctx)
+	if attempt > 1 && req.GetBody != nil {
+		body, gerr := req.GetBody()
+		if gerr != nil {
+			if cancel != nil {
+				cancel()
+			}
+			report(false)
+			return nil, fmt.Errorf("resil: replay request body: %w", gerr), nil
+		}
+		areq.Body = body
+	}
+
+	r, rerr := base.RoundTrip(areq)
+	if rerr != nil {
+		if cancel != nil {
+			cancel()
+		}
+		report(false)
+		return nil, rerr, nil
+	}
+
+	retryableStatus := r.StatusCode == http.StatusTooManyRequests || r.StatusCode/100 == 5
+
+	// Buffer the body so the response is replayable and torn reads become
+	// retryable failures instead of decoder errors downstream.
+	buf := &bytes.Buffer{}
+	n, berr := io.Copy(buf, io.LimitReader(r.Body, maxBody+1))
+	if berr != nil {
+		_ = r.Body.Close()
+		if cancel != nil {
+			cancel()
+		}
+		report(false) // torn body: the peer is flaky regardless of status
+		return nil, fmt.Errorf("resil: read response body: %w", berr), nil
+	}
+	report(!retryableStatus)
+	if n > maxBody {
+		// Too large to buffer: stream the remainder through untouched (such
+		// a response is delivered as-is and not retryable mid-read).
+		r.Body = &cancelBody{
+			Reader: io.MultiReader(bytes.NewReader(buf.Bytes()), r.Body),
+			close:  r.Body.Close,
+			cancel: cancel,
+		}
+		return r, nil, nil
+	}
+	_ = r.Body.Close()
+	r.Body = &cancelBody{Reader: bytes.NewReader(buf.Bytes()), close: func() error { return nil }, cancel: cancel}
+	r.ContentLength = n
+
+	if retryableStatus {
+		if attempt >= p.MaxAttempts {
+			return nil, errors.New("resil: retry budget spent"), r
+		}
+		return nil, &HTTPError{
+			StatusCode: r.StatusCode,
+			Status:     r.Status,
+			RetryAfter: ParseRetryAfter(r.Header.Get("Retry-After"), p.Clock.Now()),
+		}, nil
+	}
+	return r, nil, nil
+}

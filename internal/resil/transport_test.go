@@ -1,0 +1,271 @@
+package resil
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flaky is a RoundTripper scripted to fail n times before succeeding.
+type flaky struct {
+	calls    atomic.Int64
+	failures int64
+	mode     string // "error", "status", "torn"
+}
+
+func (f *flaky) RoundTrip(req *http.Request) (*http.Response, error) {
+	n := f.calls.Add(1)
+	if n <= f.failures {
+		switch f.mode {
+		case "status":
+			return &http.Response{
+				StatusCode: 503, Status: "503 Service Unavailable",
+				Header: http.Header{}, Body: io.NopCloser(strings.NewReader("down")),
+				Request: req,
+			}, nil
+		case "torn":
+			return &http.Response{
+				StatusCode: 200, Status: "200 OK",
+				Header:  http.Header{},
+				Body:    io.NopCloser(&failingReader{data: "par"}),
+				Request: req,
+			}, nil
+		default:
+			return nil, fmt.Errorf("flaky: connection reset")
+		}
+	}
+	return &http.Response{
+		StatusCode: 200, Status: "200 OK",
+		Header: http.Header{}, Body: io.NopCloser(strings.NewReader("payload")),
+		Request: req,
+	}, nil
+}
+
+// failingReader yields some bytes then an unexpected EOF.
+type failingReader struct {
+	data string
+	done bool
+}
+
+func (r *failingReader) Read(p []byte) (int, error) {
+	if r.done {
+		return 0, io.ErrUnexpectedEOF
+	}
+	r.done = true
+	return copy(p, r.data), nil
+}
+
+func fastPolicy(fc *FakeClock) Policy {
+	return Policy{Service: "test", MaxAttempts: 4, BaseDelay: time.Millisecond, Jitter: noJitter, Clock: fc}
+}
+
+func get(t *testing.T, rt http.RoundTripper, url string) (*http.Response, string, error) {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodGet, url, nil)
+	resp, err := rt.RoundTrip(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	body, rerr := io.ReadAll(resp.Body)
+	if rerr != nil {
+		t.Fatalf("read body: %v", rerr)
+	}
+	return resp, string(body), nil
+}
+
+func TestTransportRetriesConnectionErrors(t *testing.T) {
+	f := &flaky{failures: 2, mode: "error"}
+	tr := &Transport{Base: f, Policy: fastPolicy(NewFakeClock(time.Now()))}
+	resp, body, err := get(t, tr, "http://peer.test/x")
+	if err != nil {
+		t.Fatalf("RoundTrip: %v", err)
+	}
+	if resp.StatusCode != 200 || body != "payload" {
+		t.Fatalf("got %d %q", resp.StatusCode, body)
+	}
+	if f.calls.Load() != 3 {
+		t.Fatalf("calls = %d, want 3", f.calls.Load())
+	}
+}
+
+func TestTransportRetries5xx(t *testing.T) {
+	f := &flaky{failures: 1, mode: "status"}
+	tr := &Transport{Base: f, Policy: fastPolicy(NewFakeClock(time.Now()))}
+	resp, body, err := get(t, tr, "http://peer.test/x")
+	if err != nil {
+		t.Fatalf("RoundTrip: %v", err)
+	}
+	if resp.StatusCode != 200 || body != "payload" {
+		t.Fatalf("got %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestTransportRetriesTornBody(t *testing.T) {
+	f := &flaky{failures: 1, mode: "torn"}
+	tr := &Transport{Base: f, Policy: fastPolicy(NewFakeClock(time.Now()))}
+	resp, body, err := get(t, tr, "http://peer.test/x")
+	if err != nil {
+		t.Fatalf("RoundTrip: %v (torn bodies must be retried)", err)
+	}
+	if resp.StatusCode != 200 || body != "payload" {
+		t.Fatalf("got %d %q", resp.StatusCode, body)
+	}
+}
+
+// Callers keep their status-code semantics: when the budget runs out on a
+// retryable status, the transport delivers the final real response rather
+// than a synthesized error.
+func TestTransportReturnsFinalRetryableResponse(t *testing.T) {
+	f := &flaky{failures: 1 << 30, mode: "status"} // always 503
+	tr := &Transport{Base: f, Policy: fastPolicy(NewFakeClock(time.Now()))}
+	resp, body, err := get(t, tr, "http://peer.test/x")
+	if err != nil {
+		t.Fatalf("RoundTrip: %v, want the final 503 response", err)
+	}
+	if resp.StatusCode != 503 || body != "down" {
+		t.Fatalf("got %d %q, want 503 %q", resp.StatusCode, body, "down")
+	}
+	if f.calls.Load() != 4 {
+		t.Fatalf("calls = %d, want MaxAttempts=4", f.calls.Load())
+	}
+}
+
+func TestTransportTerminalStatusNotRetried(t *testing.T) {
+	calls := atomic.Int64{}
+	base := roundTripFunc(func(req *http.Request) (*http.Response, error) {
+		calls.Add(1)
+		return &http.Response{
+			StatusCode: 404, Status: "404 Not Found",
+			Header: http.Header{}, Body: io.NopCloser(strings.NewReader("nope")),
+			Request: req,
+		}, nil
+	})
+	tr := &Transport{Base: base, Policy: fastPolicy(NewFakeClock(time.Now()))}
+	resp, body, err := get(t, tr, "http://peer.test/x")
+	if err != nil {
+		t.Fatalf("RoundTrip: %v", err)
+	}
+	if resp.StatusCode != 404 || body != "nope" {
+		t.Fatalf("got %d %q", resp.StatusCode, body)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d, want 1 (4xx is terminal)", calls.Load())
+	}
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(req *http.Request) (*http.Response, error) { return f(req) }
+
+func TestTransportReplaysRequestBody(t *testing.T) {
+	var bodies []string
+	attempts := 0
+	base := roundTripFunc(func(req *http.Request) (*http.Response, error) {
+		attempts++
+		b, _ := io.ReadAll(req.Body)
+		bodies = append(bodies, string(b))
+		if attempts == 1 {
+			return nil, errors.New("reset")
+		}
+		return &http.Response{
+			StatusCode: 200, Status: "200 OK", Header: http.Header{},
+			Body: io.NopCloser(strings.NewReader("ok")), Request: req,
+		}, nil
+	})
+	tr := &Transport{Base: base, Policy: fastPolicy(NewFakeClock(time.Now()))}
+	req, _ := http.NewRequest(http.MethodPost, "http://peer.test/x", strings.NewReader("hello"))
+	resp, err := tr.RoundTrip(req)
+	if err != nil {
+		t.Fatalf("RoundTrip: %v", err)
+	}
+	resp.Body.Close()
+	if len(bodies) != 2 || bodies[0] != "hello" || bodies[1] != "hello" {
+		t.Fatalf("bodies = %q, want the same payload twice", bodies)
+	}
+}
+
+func TestTransportUnreplayableBodyNotRetried(t *testing.T) {
+	calls := 0
+	base := roundTripFunc(func(*http.Request) (*http.Response, error) {
+		calls++
+		return nil, errors.New("reset")
+	})
+	tr := &Transport{Base: base, Policy: fastPolicy(NewFakeClock(time.Now()))}
+	req, _ := http.NewRequest(http.MethodPost, "http://peer.test/x", io.NopCloser(strings.NewReader("x")))
+	req.GetBody = nil // an opaque stream: no way to replay
+	if _, err := tr.RoundTrip(req); err == nil {
+		t.Fatal("want error for unreplayable body")
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+func TestTransportBreakerIntegration(t *testing.T) {
+	fc := NewFakeClock(time.Now())
+	base := roundTripFunc(func(*http.Request) (*http.Response, error) {
+		return nil, errors.New("reset")
+	})
+	breakers := NewBreakerSet(BreakerConfig{
+		Service: "test", MinRequests: 4, Threshold: 0.5, Clock: fc,
+		Cooldown: 5 * time.Second,
+	})
+	tr := &Transport{Base: base, Policy: fastPolicy(fc), Breakers: breakers}
+
+	// One call = 4 attempts, all failures: trips the breaker mid-loop.
+	if _, _, err := get(t, tr, "http://peer.test/x"); err == nil {
+		t.Fatal("want error")
+	}
+	if st := breakers.For("peer.test").State(); st != Open {
+		t.Fatalf("breaker state = %v, want open", st)
+	}
+	// The next call fails fast with ErrOpen — terminal, no retries.
+	_, _, err := get(t, tr, "http://peer.test/x")
+	if !errors.Is(err, ErrOpen) {
+		t.Fatalf("err = %v, want ErrOpen", err)
+	}
+}
+
+func TestTransportEndToEndAgainstServer(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if hits.Add(1) < 3 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, "real payload")
+	}))
+	defer srv.Close()
+
+	hc := NewHTTPClient(Options{Service: "e2e", Policy: Policy{
+		MaxAttempts: 5, BaseDelay: time.Millisecond, Jitter: noJitter,
+	}})
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 || string(body) != "real payload" {
+		t.Fatalf("got %d %q", resp.StatusCode, body)
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("server hits = %d, want 3", hits.Load())
+	}
+}
+
+func TestInstrumentClientIdempotent(t *testing.T) {
+	hc := NewHTTPClient(Options{Service: "x", NoBreaker: true})
+	again := InstrumentClient(hc, Options{Service: "x"})
+	if again != hc {
+		t.Fatal("InstrumentClient must not double-wrap a resilient client")
+	}
+}

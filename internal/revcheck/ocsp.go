@@ -8,10 +8,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"sync/atomic"
 
 	"stalecert/internal/crl"
 	"stalecert/internal/obs"
+	"stalecert/internal/resil"
 	"stalecert/internal/simtime"
 	"stalecert/internal/x509sim"
 )
@@ -131,18 +133,26 @@ func (o *OCSPResponder) Handler() http.Handler {
 	return mux
 }
 
-// OCSPChecker queries a responder over HTTP, implementing Checker. With a
-// nil HC the default client is wrapped in an obs.Transport, giving every
-// status query per-peer latency/outcome metrics and request-ID propagation.
+// OCSPChecker queries a responder over HTTP, implementing Checker. The
+// client (default client when HC is nil) is wrapped in the resilience stack:
+// transient responder failures are retried with backoff, a persistently down
+// responder trips a per-peer circuit, and every attempt carries per-peer
+// metrics and request-ID propagation via the obs layer underneath.
 type OCSPChecker struct {
 	URL string // responder base URL
 	HC  *http.Client
+
+	once sync.Once
+	rhc  *http.Client // HC wrapped once — the breaker must be shared across checks
 }
 
-// Check implements Checker. The caller's context bounds the HTTP round trip:
-// a canceled context aborts the check immediately.
+// Check implements Checker. The caller's context bounds the HTTP round trip
+// (including retries): a canceled context aborts the check immediately.
 func (c *OCSPChecker) Check(ctx context.Context, cert *x509sim.Certificate, _ simtime.Day) (Status, crl.Reason, error) {
-	hc := obs.InstrumentClient(c.HC, "ocsp-checker")
+	c.once.Do(func() {
+		c.rhc = resil.InstrumentClient(c.HC, resil.Options{Service: "ocsp-checker"})
+	})
+	hc := c.rhc
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		c.URL+"/ocsp", bytes.NewReader(MarshalOCSPRequest(cert.DedupKey())))
 	if err != nil {

@@ -12,12 +12,13 @@ import (
 // counter for callers that piggybacked on an in-flight computation instead
 // of recomputing (the hot-domain thundering-herd guard).
 var (
-	mCacheHits      = obs.Default().Counter("staleapi_cache_hits_total")
-	mCacheMisses    = obs.Default().Counter("staleapi_cache_misses_total")
-	mCacheEvictions = obs.Default().Counter("staleapi_cache_evictions_total")
-	mCacheExpired   = obs.Default().Counter("staleapi_cache_expired_total")
-	mFlightShared   = obs.Default().Counter("staleapi_singleflight_shared_total")
-	mCacheSize      = obs.Default().Gauge("staleapi_cache_entries")
+	mCacheHits        = obs.Default().Counter("staleapi_cache_hits_total")
+	mCacheMisses      = obs.Default().Counter("staleapi_cache_misses_total")
+	mCacheEvictions   = obs.Default().Counter("staleapi_cache_evictions_total")
+	mCacheExpired     = obs.Default().Counter("staleapi_cache_expired_total")
+	mCacheStaleServed = obs.Default().Counter("staleapi_cache_stale_served_total")
+	mFlightShared     = obs.Default().Counter("staleapi_singleflight_shared_total")
+	mCacheSize        = obs.Default().Gauge("staleapi_cache_entries")
 )
 
 // call is one in-flight computation other callers can wait on.
@@ -31,6 +32,11 @@ type call struct {
 // the same key run the loader once and share its result. Staleness queries
 // on hot domains fan in here — a burst of identical queries costs one
 // evidence fetch.
+//
+// Expired entries are retained as "last-good" until evicted by capacity: a
+// loader failure falls back to the stale value (CacheInfo.Stale) instead of
+// surfacing the error, the serve-stale degradation the query daemons build
+// on.
 type Cache struct {
 	max int
 	ttl time.Duration
@@ -45,7 +51,19 @@ type Cache struct {
 type cacheEntry struct {
 	key     string
 	val     any
+	stored  time.Time
 	expires time.Time
+}
+
+// CacheInfo describes where a Do result came from.
+type CacheInfo struct {
+	// Hit: the value was served fresh from the cache.
+	Hit bool
+	// Stale: the loader failed and the value is the retained last-good
+	// (expired) entry — degraded service, not an error.
+	Stale bool
+	// Age is how long ago a stale value was originally computed.
+	Age time.Duration
 }
 
 // NewCache creates a cache holding at most max entries, each fresh for ttl.
@@ -70,28 +88,41 @@ func (c *Cache) Len() int {
 }
 
 // Do returns the cached value for key, or runs loader (once across
-// concurrent callers) and caches its result. cached reports whether the
-// value came from the cache (hit) rather than this or another caller's
-// loader. Loader errors are not cached.
-func (c *Cache) Do(key string, loader func() (any, error)) (v any, cached bool, err error) {
+// concurrent callers) and caches its result. info reports whether the value
+// was a fresh cache hit, and — when the loader fails but an expired
+// last-good entry is retained — whether the returned value is stale (in
+// which case err is nil and the caller should mark the response degraded).
+// Loader errors are never cached.
+func (c *Cache) Do(key string, loader func() (any, error)) (v any, info CacheInfo, err error) {
 	c.mu.Lock()
+	var staleVal any
+	var staleAge time.Duration
+	haveStale := false
 	if el, ok := c.items[key]; ok {
 		ent := el.Value.(*cacheEntry)
 		if c.ttl <= 0 || c.now().Before(ent.expires) {
 			c.ll.MoveToFront(el)
 			c.mu.Unlock()
 			mCacheHits.Inc()
-			return ent.val, true, nil
+			return ent.val, CacheInfo{Hit: true}, nil
 		}
-		c.ll.Remove(el)
-		delete(c.items, key)
+		// Expired: no longer a hit, but keep the entry as last-good so a
+		// failing loader can degrade to it instead of erroring.
+		staleVal, staleAge, haveStale = ent.val, c.now().Sub(ent.stored), true
 		mCacheExpired.Inc()
+	}
+	serveStale := func(cl *call) (any, CacheInfo, error) {
+		if cl.err != nil && haveStale {
+			mCacheStaleServed.Inc()
+			return staleVal, CacheInfo{Stale: true, Age: staleAge}, nil
+		}
+		return cl.val, CacheInfo{}, cl.err
 	}
 	if cl, ok := c.calls[key]; ok {
 		c.mu.Unlock()
 		mFlightShared.Inc()
 		<-cl.done
-		return cl.val, false, cl.err
+		return serveStale(cl)
 	}
 	cl := &call{done: make(chan struct{})}
 	c.calls[key] = cl
@@ -104,7 +135,14 @@ func (c *Cache) Do(key string, loader func() (any, error)) (v any, cached bool, 
 	c.mu.Lock()
 	delete(c.calls, key)
 	if cl.err == nil && c.max > 0 {
-		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: cl.val, expires: c.now().Add(c.ttl)})
+		now := c.now()
+		if el, ok := c.items[key]; ok {
+			ent := el.Value.(*cacheEntry)
+			ent.val, ent.stored, ent.expires = cl.val, now, now.Add(c.ttl)
+			c.ll.MoveToFront(el)
+		} else {
+			c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: cl.val, stored: now, expires: now.Add(c.ttl)})
+		}
 		for c.ll.Len() > c.max {
 			oldest := c.ll.Back()
 			c.ll.Remove(oldest)
@@ -114,7 +152,7 @@ func (c *Cache) Do(key string, loader func() (any, error)) (v any, cached bool, 
 	}
 	mCacheSize.Set(float64(c.ll.Len()))
 	c.mu.Unlock()
-	return cl.val, false, cl.err
+	return serveStale(cl)
 }
 
 // Invalidate drops one key (e.g. after new certificates for a domain were

@@ -15,13 +15,13 @@ func TestCacheHitMissAndLRU(t *testing.T) {
 		return func() (any, error) { calls++; return v, nil }
 	}
 
-	v, cached, err := c.Do("a", load("A"))
-	if err != nil || cached || v != "A" || calls != 1 {
-		t.Fatalf("first Do = %v %v %v calls=%d", v, cached, err, calls)
+	v, info, err := c.Do("a", load("A"))
+	if err != nil || info.Hit || v != "A" || calls != 1 {
+		t.Fatalf("first Do = %v %+v %v calls=%d", v, info, err, calls)
 	}
-	v, cached, _ = c.Do("a", load("A2"))
-	if !cached || v != "A" || calls != 1 {
-		t.Fatalf("second Do should hit: %v %v calls=%d", v, cached, calls)
+	v, info, _ = c.Do("a", load("A2"))
+	if !info.Hit || v != "A" || calls != 1 {
+		t.Fatalf("second Do should hit: %v %+v calls=%d", v, info, calls)
 	}
 
 	c.Do("b", load("B"))
@@ -29,13 +29,13 @@ func TestCacheHitMissAndLRU(t *testing.T) {
 	if c.Len() != 2 {
 		t.Fatalf("Len = %d", c.Len())
 	}
-	_, cached, _ = c.Do("a", load("A3"))
-	if cached {
+	_, info, _ = c.Do("a", load("A3"))
+	if info.Hit {
 		t.Fatal("evicted key still cached")
 	}
 	// "b" was evicted when "a" was re-added ("c" was more recent).
-	_, cached, _ = c.Do("c", load("C2"))
-	if !cached {
+	_, info, _ = c.Do("c", load("C2"))
+	if !info.Hit {
 		t.Fatal("most-recent key evicted out of order")
 	}
 }
@@ -46,13 +46,13 @@ func TestCacheTTLExpiry(t *testing.T) {
 	c.now = func() time.Time { return now }
 
 	c.Do("k", func() (any, error) { return 1, nil })
-	if _, cached, _ := c.Do("k", func() (any, error) { return 2, nil }); !cached {
+	if _, info, _ := c.Do("k", func() (any, error) { return 2, nil }); !info.Hit {
 		t.Fatal("fresh entry missed")
 	}
 	now = now.Add(2 * time.Minute)
-	v, cached, _ := c.Do("k", func() (any, error) { return 2, nil })
-	if cached || v != 2 {
-		t.Fatalf("expired entry served: %v %v", v, cached)
+	v, info, _ := c.Do("k", func() (any, error) { return 2, nil })
+	if info.Hit || v != 2 {
+		t.Fatalf("expired entry served: %v %+v", v, info)
 	}
 }
 
@@ -62,9 +62,63 @@ func TestCacheErrorsNotCached(t *testing.T) {
 	if _, _, err := c.Do("k", func() (any, error) { return nil, boom }); err != boom {
 		t.Fatalf("err = %v", err)
 	}
-	v, cached, err := c.Do("k", func() (any, error) { return "ok", nil })
-	if err != nil || cached || v != "ok" {
-		t.Fatalf("error was cached: %v %v %v", v, cached, err)
+	v, info, err := c.Do("k", func() (any, error) { return "ok", nil })
+	if err != nil || info.Hit || v != "ok" {
+		t.Fatalf("error was cached: %v %+v %v", v, info, err)
+	}
+}
+
+func TestCacheServesStaleOnLoaderFailure(t *testing.T) {
+	c := NewCache(8, time.Minute)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+	boom := errors.New("upstream down")
+
+	c.Do("k", func() (any, error) { return "good", nil })
+	now = now.Add(3 * time.Minute) // entry expires, retained as last-good
+
+	v, info, err := c.Do("k", func() (any, error) { return nil, boom })
+	if err != nil {
+		t.Fatalf("stale fallback surfaced error: %v", err)
+	}
+	if v != "good" || !info.Stale || info.Hit {
+		t.Fatalf("Do = %v %+v, want last-good stale value", v, info)
+	}
+	if info.Age != 3*time.Minute {
+		t.Fatalf("Age = %v, want 3m", info.Age)
+	}
+
+	// A successful reload replaces the stale value and clears degradation.
+	v, info, err = c.Do("k", func() (any, error) { return "fresh", nil })
+	if err != nil || v != "fresh" || info.Stale {
+		t.Fatalf("reload = %v %+v %v", v, info, err)
+	}
+	if v, info, _ := c.Do("k", func() (any, error) { return nil, boom }); v != "fresh" || !info.Hit {
+		t.Fatalf("post-reload hit = %v %+v", v, info)
+	}
+}
+
+func TestCacheStaleNotServedWithoutLastGood(t *testing.T) {
+	c := NewCache(8, time.Minute)
+	boom := errors.New("upstream down")
+	_, info, err := c.Do("cold", func() (any, error) { return nil, boom })
+	if err != boom || info.Stale {
+		t.Fatalf("cold-key failure = %+v %v, want the raw error", info, err)
+	}
+}
+
+func TestCacheInvalidateDropsLastGood(t *testing.T) {
+	c := NewCache(8, time.Minute)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+	boom := errors.New("upstream down")
+
+	c.Do("k", func() (any, error) { return "good", nil })
+	now = now.Add(2 * time.Minute)
+	c.Invalidate("k")
+	_, info, err := c.Do("k", func() (any, error) { return nil, boom })
+	if err != boom || info.Stale {
+		t.Fatalf("invalidated last-good still served: %+v %v", info, err)
 	}
 }
 
@@ -110,7 +164,7 @@ func TestCacheInvalidate(t *testing.T) {
 	c := NewCache(8, time.Hour)
 	c.Do("k", func() (any, error) { return 1, nil })
 	c.Invalidate("k")
-	if _, cached, _ := c.Do("k", func() (any, error) { return 2, nil }); cached {
+	if _, info, _ := c.Do("k", func() (any, error) { return 2, nil }); info.Hit {
 		t.Fatal("invalidated key still cached")
 	}
 	c.Invalidate("never-existed") // no-op
@@ -119,7 +173,7 @@ func TestCacheInvalidate(t *testing.T) {
 func TestCacheZeroMaxStillSingleflights(t *testing.T) {
 	c := NewCache(0, time.Minute)
 	c.Do("k", func() (any, error) { return 1, nil })
-	if _, cached, _ := c.Do("k", func() (any, error) { return 2, nil }); cached {
+	if _, info, _ := c.Do("k", func() (any, error) { return 2, nil }); info.Hit {
 		t.Fatal("max=0 cache stored an entry")
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"stalecert/internal/certstore"
@@ -44,6 +45,11 @@ type Server struct {
 	now      func() simtime.Day
 	cache    *Cache
 	health   *obs.Health
+
+	// evMu guards evErr, the most recent evidence outcome backing
+	// EvidenceProbe.
+	evMu  sync.Mutex
+	evErr error
 }
 
 // Config assembles a Server.
@@ -110,26 +116,7 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
 	defer cancel()
-	results := s.health.Check(ctx)
-	status := http.StatusOK
-	for _, res := range results {
-		if res.Err != nil {
-			status = http.StatusServiceUnavailable
-			break
-		}
-	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.WriteHeader(status)
-	for _, res := range results {
-		if res.Err != nil {
-			fmt.Fprintf(w, "not-ready %s: %v\n", res.Name, res.Err)
-		} else {
-			fmt.Fprintf(w, "ready %s\n", res.Name)
-		}
-	}
-	if len(results) == 0 {
-		fmt.Fprintln(w, "ready (no probes registered)")
-	}
+	obs.WriteReadyz(w, s.health.Check(ctx))
 }
 
 // CertJSON is the wire form of one certificate.
@@ -181,6 +168,11 @@ type StalenessResponse struct {
 	CertsIndexed int         `json:"certs_indexed"`
 	Stale        []StaleJSON `json:"stale"`
 	Cached       bool        `json:"cached"`
+	// Degraded marks a verdict served from the retained last-good cache
+	// entry because live evidence gathering failed; EvidenceAge says how old
+	// that evidence is. Such responses also carry an X-Stale-Evidence header.
+	Degraded    bool   `json:"degraded,omitempty"`
+	EvidenceAge string `json:"evidence_age,omitempty"`
 }
 
 // DomainCertsResponse is the /v1/domain/{e2ld}/certs payload.
@@ -256,11 +248,12 @@ func (s *Server) handleStaleness(w http.ResponseWriter, r *http.Request) {
 	}
 	mStalenessChecks.Inc()
 	ctx := r.Context()
-	v, cached, err := s.cache.Do("staleness:"+domain, func() (any, error) {
+	v, info, err := s.cache.Do("staleness:"+domain, func() (any, error) {
 		return s.staleness(ctx, domain)
 	})
 	if err != nil {
 		mEvidenceErrors.Inc()
+		s.noteEvidence(err)
 		status := http.StatusBadGateway
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			status = http.StatusGatewayTimeout
@@ -269,8 +262,38 @@ func (s *Server) handleStaleness(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := v.(StalenessResponse)
-	resp.Cached = cached
+	resp.Cached = info.Hit
+	if info.Stale {
+		// Live evidence failed but a last-good verdict is retained: serve it
+		// marked degraded rather than 502ing the query.
+		mEvidenceErrors.Inc()
+		s.noteEvidence(fmt.Errorf("serving stale evidence for %s", domain))
+		resp.Degraded = true
+		resp.EvidenceAge = info.Age.Round(time.Millisecond).String()
+		w.Header().Set(obs.StaleEvidenceHeader,
+			fmt.Sprintf("staleness:%s age=%s", domain, resp.EvidenceAge))
+	} else {
+		s.noteEvidence(nil)
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// noteEvidence tracks the last evidence outcome behind the evidence-degraded
+// readiness probe: failures flip /readyz to degraded (200 — the daemon still
+// answers, on last-good data), a success clears it.
+func (s *Server) noteEvidence(err error) {
+	s.evMu.Lock()
+	s.evErr = err
+	s.evMu.Unlock()
+}
+
+// EvidenceProbe is a readiness probe reporting degraded (not unready) while
+// the most recent evidence gathering failed. Register it with the daemon's
+// Health.
+func (s *Server) EvidenceProbe(context.Context) error {
+	s.evMu.Lock()
+	defer s.evMu.Unlock()
+	return obs.Degraded(s.evErr)
 }
 
 // staleness computes one domain's verdict: gather evidence, run the shared

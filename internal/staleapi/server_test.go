@@ -229,6 +229,98 @@ func TestStalenessEvidenceErrors(t *testing.T) {
 	}
 }
 
+// TestStalenessServesDegradedFromLastGood is the serve-stale contract: when
+// live evidence fails but an expired verdict is retained, the endpoint
+// answers 200 with "degraded": true, the evidence age, and an
+// X-Stale-Evidence header instead of a 502 — and /readyz reports degraded
+// (200) rather than unready (503).
+func TestStalenessServesDegradedFromLastGood(t *testing.T) {
+	store, certs := newTestStore(t)
+	var fail atomic.Bool
+	evidence := func(ctx context.Context, domain string) (core.DomainEvidence, error) {
+		if fail.Load() {
+			return core.DomainEvidence{}, errors.New("crl endpoint down")
+		}
+		return core.DomainEvidence{
+			Revocations: []crl.Entry{
+				{Issuer: certs[0].Issuer, Serial: 1, RevokedAt: 500, Reason: crl.KeyCompromise},
+			},
+			RevocationCutoff: simtime.NoDay,
+		}, nil
+	}
+	health := obs.NewHealth()
+	srv := NewServer(Config{
+		Store:    store,
+		Evidence: evidence,
+		Now:      func() simtime.Day { return simtime.MustParse("2023-01-01") },
+		CacheTTL: time.Minute,
+		Health:   health,
+	})
+	health.Register("evidence", srv.EvidenceProbe)
+	clock := time.Unix(1000, 0)
+	srv.cache.now = func() time.Time { return clock }
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Healthy round: fresh verdict, no degradation, probe clean.
+	resp, body := get(t, ts, "/v1/domain/alpha.com/staleness")
+	var sr StalenessResponse
+	if err := json.Unmarshal(body, &sr); err != nil || sr.Degraded || len(sr.Stale) != 1 {
+		t.Fatalf("healthy payload = %+v, %v", sr, err)
+	}
+	if h := resp.Header.Get(obs.StaleEvidenceHeader); h != "" {
+		t.Fatalf("healthy response carries %s: %q", obs.StaleEvidenceHeader, h)
+	}
+	if err := srv.EvidenceProbe(context.Background()); err != nil {
+		t.Fatalf("probe after success = %v", err)
+	}
+
+	// Entry expires and evidence starts failing: last-good served degraded.
+	clock = clock.Add(3 * time.Minute)
+	fail.Store(true)
+	resp, body = get(t, ts, "/v1/domain/alpha.com/staleness")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded status = %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Degraded || sr.EvidenceAge != "3m0s" || len(sr.Stale) != 1 {
+		t.Fatalf("degraded payload = %+v", sr)
+	}
+	if h := resp.Header.Get(obs.StaleEvidenceHeader); !strings.Contains(h, "alpha.com") {
+		t.Fatalf("%s = %q", obs.StaleEvidenceHeader, h)
+	}
+
+	// Readiness is degraded (200 with a degraded body), not unready (503).
+	err := srv.EvidenceProbe(context.Background())
+	if !obs.IsDegraded(err) {
+		t.Fatalf("probe after degraded serve = %v, want degraded", err)
+	}
+	resp, body = get(t, ts, "/readyz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "degraded evidence") {
+		t.Fatalf("readyz = %d: %s", resp.StatusCode, body)
+	}
+
+	// A domain with no retained verdict still surfaces the hard error.
+	resp, _ = get(t, ts, "/v1/domain/beta.org/staleness")
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("cold-domain status = %d", resp.StatusCode)
+	}
+
+	// Recovery: evidence heals, the next query replaces the stale entry and
+	// clears the probe.
+	fail.Store(false)
+	_, body = get(t, ts, "/v1/domain/alpha.com/staleness")
+	sr = StalenessResponse{} // degraded/evidence_age are omitempty: start clean
+	if err := json.Unmarshal(body, &sr); err != nil || sr.Degraded || sr.EvidenceAge != "" {
+		t.Fatalf("recovered payload = %+v, %v", sr, err)
+	}
+	if err := srv.EvidenceProbe(context.Background()); err != nil {
+		t.Fatalf("probe after recovery = %v", err)
+	}
+}
+
 func TestStalenessNilEvidenceReportsEmpty(t *testing.T) {
 	store, _ := newTestStore(t)
 	srv := NewServer(Config{Store: store, Health: obs.NewHealth()})
