@@ -38,8 +38,9 @@ var chaosQueryDomains = []string{
 // runChaosPipeline builds the whole pipeline from scratch (fresh log, fresh
 // store) and returns each queried domain's staleness response body. A nil
 // chaos runs fault-free; a non-nil one injects its seeded fault stream into
-// both the CT tail and the CRL fetch legs.
-func runChaosPipeline(t *testing.T, chaos *resil.Chaos) map[string]string {
+// both the CT tail and the CRL fetch legs. A non-nil spans store receives
+// the CT leg's call and per-attempt client spans.
+func runChaosPipeline(t *testing.T, chaos *resil.Chaos, spans *obs.SpanStore) map[string]string {
 	t.Helper()
 	day := simtime.MustParse("2022-06-01")
 
@@ -88,6 +89,7 @@ func runChaosPipeline(t *testing.T, chaos *resil.Chaos) map[string]string {
 		Service: "chaos-accept-ct",
 		Breaker: breakers,
 		Chaos:   chaos,
+		Spans:   spans,
 		Policy: resil.Policy{
 			MaxAttempts: 5,
 			BaseDelay:   5 * time.Millisecond,
@@ -188,12 +190,18 @@ func TestChaosPipelineVerdictsMatchFaultFree(t *testing.T) {
 		t.Skip("chaos acceptance is not a -short test")
 	}
 
-	clean := runChaosPipeline(t, nil)
+	clean := runChaosPipeline(t, nil, nil)
 
 	retriesBefore := metricTotal("resil_retries_total")
 	injectedBefore := metricTotal("resil_chaos_injections_total")
 
-	chaotic := runChaosPipeline(t, resil.NewChaos(nil, 1, resil.DefaultRates(0.2)))
+	// Private span store at sample rate 0: only the tail-sampling error rule
+	// can keep a trace, so everything retained below was fault-touched. The
+	// seed is chosen so the deterministic fault stream hits the CT leg (the
+	// one behind resil.Transport), not just the CRL fetcher's retry loop.
+	spans := obs.NewSpanStore(512, 0, 0)
+	spans.Registry = obs.NewRegistry()
+	chaotic := runChaosPipeline(t, resil.NewChaos(nil, 18, resil.DefaultRates(0.2)), spans)
 
 	if len(chaotic) != len(clean) {
 		t.Fatalf("chaos run answered %d domains, fault-free %d", len(chaotic), len(clean))
@@ -211,6 +219,44 @@ func TestChaosPipelineVerdictsMatchFaultFree(t *testing.T) {
 	}
 	if retries := metricTotal("resil_retries_total") - retriesBefore; retries == 0 {
 		t.Error("chaos run performed no retries — faults were not absorbed by the resilience layer")
+	}
+
+	// Injected-fault traces must be tail-kept: at sample rate 0 every kept
+	// trace was retained by the error rule, triggered by a failed attempt or
+	// an exhausted call.
+	kept := spans.Traces(obs.TraceFilter{WithSpans: true})
+	if len(kept) == 0 {
+		t.Fatal("chaos run kept no traces at sample=0 — injected faults did not trip tail sampling")
+	}
+	for _, tr := range kept {
+		if tr.KeepReason != obs.KeepError {
+			t.Fatalf("trace %s kept for %q, want %q at sample=0", tr.TraceID, tr.KeepReason, obs.KeepError)
+		}
+	}
+
+	// At least one kept trace must show the retry anatomy: a call span that
+	// needed several attempts, with each attempt visible as a numbered
+	// sibling client span beneath it and the first of them failed.
+	retried := false
+	for _, tr := range kept {
+		for _, root := range obs.BuildSpanTree(tr.Spans) {
+			if root.Kind != obs.SpanCall || root.Attempt < 2 || len(root.Children) < 2 {
+				continue
+			}
+			ok := true
+			for i, att := range root.Children {
+				if att.Kind != obs.SpanClient || att.Attempt != i+1 {
+					ok = false
+				}
+			}
+			first := root.Children[0]
+			if ok && (first.Err != "" || first.Status >= 500) {
+				retried = true
+			}
+		}
+	}
+	if !retried {
+		t.Error("no kept trace shows a retried call with numbered per-attempt client spans under it")
 	}
 
 	// Breaker state must be observable on the debug surface: the registered

@@ -6,6 +6,7 @@
 //
 //	ctlogd [-addr :8784] [-name mylog] [-shard-start 2022-01-01 -shard-end 2023-01-01] [-seed-entries N]
 //	       [-debug-addr 127.0.0.1:0] [-log-format text|json] [-chaos-seed 0]
+//	       [-trace-buffer 256] [-trace-sample 0.1] [-trace-slow 250ms]
 //
 // A non-zero -chaos-seed wraps the listener in resil.NewChaosListener, which
 // drops a deterministic fraction of accepted connections — server-side fault

@@ -4,6 +4,8 @@
 // Usage:
 //
 //	experiments [-scale quick|test|full] [-seed N] [-artifact NAME | -all | -headline]
+//	            [-debug-addr 127.0.0.1:0] [-trace-buffer 256] [-trace-sample 0.1]
+//	            [-trace-slow 250ms]
 //
 // Artifacts: table3 table4 table5 table6 table7
 //

@@ -1,15 +1,19 @@
-// Command obsagg is the fleet metrics aggregator: it scrapes every
-// configured daemon's /metrics endpoint on an interval, merges the series
-// under added job/instance labels, and serves the combined view — one
-// Prometheus scrape target for the whole deployment — plus a plain-text
-// fleet summary. Scrape failures and jobs whose server error rate crosses a
-// threshold raise structured log alerts.
+// Command obsagg is the fleet observability aggregator: it scrapes every
+// configured daemon's /metrics and /v1/traces endpoints on an interval,
+// merges the metric series under added job/instance labels, stitches the
+// per-daemon trace fragments into fleet-wide span trees, and serves the
+// combined view — one Prometheus scrape target and one trace query surface
+// for the whole deployment — plus a plain-text fleet summary. Scrape
+// failures, jobs whose server error rate crosses a threshold, and stitched
+// traces slower than -fleet-trace-slow raise structured log alerts.
 //
 // Usage:
 //
 //	obsagg -targets ctlogd=http://127.0.0.1:9090,crld=http://127.0.0.1:9091 \
 //	       [-addr 127.0.0.1:8790] [-scrape-interval 10s] [-error-rate-threshold 0.1]
+//	       [-fleet-trace-slow 1s] [-fleet-trace-buffer 512]
 //	       [-debug-addr 127.0.0.1:0] [-log-format text|json]
+//	       [-trace-buffer 256] [-trace-sample 0.1] [-trace-slow 250ms]
 //	       [-retry-max 4] [-breaker-threshold 0.5] [-chaos-seed 0]
 //
 // Scrapes run through the resilience layer (retries + per-peer circuit
@@ -19,10 +23,12 @@
 //
 // Endpoints:
 //
-//	/metrics  federated exposition across every target (+ obsagg's own series)
-//	/fleet    plain-text per-target summary (up/down, series counts, failures)
-//	/healthz  liveness
-//	/readyz   ready once the first scrape round completes
+//	/metrics            federated exposition across every target (+ obsagg's own series)
+//	/fleet              plain-text per-target summary (up/down, series counts, failures)
+//	/fleet/traces       stitched cross-daemon trace summaries (?route=, ?min_ms=, ?error=1, ?spans=1)
+//	/fleet/traces/{id}  one stitched trace as a span tree
+//	/healthz            liveness
+//	/readyz             ready once the first scrape round completes
 package main
 
 import (
@@ -44,6 +50,8 @@ func main() {
 	targets := flag.String("targets", "", "comma-separated job=URL scrape targets (required)")
 	interval := flag.Duration("scrape-interval", 10*time.Second, "scrape interval")
 	threshold := flag.Float64("error-rate-threshold", 0.1, "per-job 5xx/total fraction that raises an alert (0 disables)")
+	fleetSlow := flag.Duration("fleet-trace-slow", time.Second, "stitched-trace duration that raises a slow-trace alert (0 disables)")
+	fleetBuffer := flag.Int("fleet-trace-buffer", 512, "stitched traces retained in the fleet view")
 	obsFlags := obs.BindFlags(flag.CommandLine)
 	var rf resil.Flags
 	rf.BindFlags(flag.CommandLine)
@@ -65,6 +73,8 @@ func main() {
 		Targets:            parsed,
 		Logger:             logger,
 		ErrorRateThreshold: *threshold,
+		TraceSlow:          *fleetSlow,
+		TraceBuffer:        *fleetBuffer,
 		SelfJob:            "obsagg",
 		Client:             resil.NewHTTPClient(rf.Options("obsagg")),
 	}
@@ -77,6 +87,7 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", agg.Handler())
 	mux.Handle("/fleet", agg.Handler())
+	mux.Handle("/fleet/", agg.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		obs.HandlerFor(obs.Default(), obs.DefaultHealth()).ServeHTTP(w, r)
 	})
@@ -86,7 +97,8 @@ func main() {
 	handler := obs.Middleware(obs.Default(), "obsagg", mux)
 
 	logger.Info("serving federated metrics", "targets", len(parsed), "addr", *addr,
-		"interval", interval.String(), "endpoints", "/metrics /fleet /healthz /readyz")
+		"interval", interval.String(),
+		"endpoints", "/metrics /fleet /fleet/traces /fleet/traces/{id} /healthz /readyz")
 
 	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)

@@ -7,6 +7,7 @@
 //
 //	ocspd [-addr 127.0.0.1:8786] [-seed-revocations N] [-now 2023-01-01]
 //	      [-debug-addr 127.0.0.1:0] [-log-format text|json]
+//	      [-trace-buffer 256] [-trace-sample 0.1] [-trace-slow 250ms]
 package main
 
 import (

@@ -22,6 +22,7 @@
 //	          [-dns 127.0.0.1:5353] [-crl http://127.0.0.1:8785]
 //	          [-now 2023-01-01] [-marker cloudflaressl.com]
 //	          [-cache-entries 1024] [-cache-ttl 5s] [-debug-addr 127.0.0.1:0]
+//	          [-trace-buffer 256] [-trace-sample 0.1] [-trace-slow 250ms]
 //	          [-retry-max 4] [-breaker-threshold 0.5] [-chaos-seed 0]
 //
 // Every outbound call (CT log tail, CRL fetches) goes through the resilience
@@ -113,7 +114,10 @@ func main() {
 			"segments", store.SegmentCount())
 	}
 
-	ing := certstore.NewIngester(store, ctlog.NewClientWithOptions(*logURL, nil, rf.Options("ctlog-client")))
+	// The ingest client is named after the daemon, not the peer: its call and
+	// attempt spans then carry service="staleapid" in stitched fleet traces,
+	// so a cross-daemon trace reads staleapid → ctlogd.
+	ing := certstore.NewIngester(store, ctlog.NewClientWithOptions(*logURL, nil, rf.Options("staleapid")))
 	srv := staleapi.NewServer(staleapi.Config{
 		Store:        store,
 		Evidence:     liveEvidence(rf, *whoisAddr, *dnsAddr, *crlURL, *marker, nowDay),

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	staled [-scale quick|test|full] [-seed N] [-json] [-debug-addr 127.0.0.1:0]
+//	       [-trace-buffer 256] [-trace-sample 0.1] [-trace-slow 250ms]
 package main
 
 import (

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	whoisd [-addr 127.0.0.1:4343] [-seed-domains N] [-debug-addr 127.0.0.1:0]
+//	       [-trace-buffer 256] [-trace-sample 0.1] [-trace-slow 250ms]
 //	whoisd -query example000001.com [-server 127.0.0.1:4343]
 package main
 

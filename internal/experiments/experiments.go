@@ -117,6 +117,10 @@ func detect(w *worldsim.World, tr *obs.Trace) *Results {
 	sp.End()
 
 	tr.End()
+	// Mirror the stage tree into the process span store (when tracing is on)
+	// so a batch run's pipeline timings are queryable at /v1/traces like any
+	// served request; the zero RequestID mints a fresh trace rooted here.
+	tr.Record(nil, obs.RequestID{}, "experiments")
 	return r
 }
 

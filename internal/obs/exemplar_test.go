@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestObserveExemplarLandsInBucket(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", []float64{0.1, 1, 10}, "svc", "a")
+	h.ObserveExemplar(0.5, "trace-1")
+	h.ObserveExemplar(0.05, "trace-2")
+	h.Observe(5) // plain observation: no exemplar for this bucket
+
+	var sample *Sample
+	for _, s := range reg.Snapshot() {
+		if s.Name == "lat_seconds" {
+			s := s
+			sample = &s
+		}
+	}
+	if sample == nil {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if sample.Count != 3 {
+		t.Fatalf("count %d, want 3 (ObserveExemplar must still observe)", sample.Count)
+	}
+	wantByBound := map[float64]string{0.1: "trace-2", 1: "trace-1"}
+	for _, b := range sample.Buckets {
+		want, expect := wantByBound[b.UpperBound]
+		switch {
+		case expect && (b.Exemplar == nil || b.Exemplar.TraceID != want):
+			t.Errorf("bucket le=%v exemplar = %+v, want trace %q", b.UpperBound, b.Exemplar, want)
+		case !expect && b.Exemplar != nil:
+			t.Errorf("bucket le=%v has unexpected exemplar %+v", b.UpperBound, b.Exemplar)
+		case expect && b.Exemplar.Value != map[string]float64{"trace-2": 0.05, "trace-1": 0.5}[want]:
+			t.Errorf("bucket le=%v exemplar value = %v", b.UpperBound, b.Exemplar.Value)
+		}
+	}
+
+	// Last writer wins within one bucket.
+	h.ObserveExemplar(0.6, "trace-3")
+	for _, s := range reg.Snapshot() {
+		if s.Name != "lat_seconds" {
+			continue
+		}
+		for _, b := range s.Buckets {
+			if b.UpperBound == 1 && (b.Exemplar == nil || b.Exemplar.TraceID != "trace-3") {
+				t.Errorf("bucket le=1 exemplar = %+v, want trace-3", b.Exemplar)
+			}
+		}
+	}
+}
+
+func TestExemplarExpositionRoundTrips(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("req_seconds", []float64{0.1, 1}, "svc", "api")
+	h.ObserveExemplar(0.03, "4bf92f3577b34da6a3ce929d0e0e4736")
+	h.Observe(0.5)
+	reg.Counter("plain_total").Inc()
+
+	var buf bytes.Buffer
+	WriteProm(&buf, reg)
+	text := buf.String()
+	if !strings.Contains(text, `# {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.03`) {
+		t.Fatalf("exposition missing OpenMetrics exemplar:\n%s", text)
+	}
+
+	got, err := ParseProm(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseProm on exemplar exposition: %v\n%s", err, text)
+	}
+	want := reg.Snapshot()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("exemplar round trip mismatch\ngot:  %+v\nwant: %+v\nexposition:\n%s", got, want, text)
+	}
+
+	// Second generation (aggregator re-emits what it parsed).
+	var buf2 bytes.Buffer
+	WriteSamples(&buf2, got)
+	got2, err := ParseProm(&buf2)
+	if err != nil {
+		t.Fatalf("second-generation ParseProm: %v", err)
+	}
+	if !reflect.DeepEqual(got2, want) {
+		t.Fatal("second-generation exemplar round trip diverged")
+	}
+}
+
+func TestParsePromExemplarForms(t *testing.T) {
+	input := "# TYPE req_seconds histogram\n" +
+		`req_seconds_bucket{le="1"} 3 # {trace_id="abc"} 0.25 1700000000` + "\n" +
+		`req_seconds_bucket{le="+Inf"} 3` + "\n" +
+		"req_seconds_sum 0.75\nreq_seconds_count 3\n"
+	samples, err := ParseProm(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 1 || len(samples[0].Buckets) != 2 {
+		t.Fatalf("parsed %+v", samples)
+	}
+	ex := samples[0].Buckets[0].Exemplar
+	if ex == nil || ex.TraceID != "abc" || ex.Value != 0.25 {
+		t.Fatalf("exemplar with timestamp parsed as %+v", ex)
+	}
+	if samples[0].Buckets[1].Exemplar != nil {
+		t.Fatal("+Inf bucket grew an exemplar from nowhere")
+	}
+
+	if _, err := ParseProm(strings.NewReader("# TYPE x histogram\nx_bucket{le=\"1\"} 1 # junk\n")); err == nil {
+		t.Fatal("malformed exemplar accepted")
+	}
+}

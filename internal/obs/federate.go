@@ -59,7 +59,7 @@ func ParseProm(r io.Reader) ([]Sample, error) {
 			}
 			continue
 		}
-		name, labels, value, err := parseSampleLine(line)
+		name, labels, value, ex, err := parseSampleLine(line)
 		if err != nil {
 			return nil, fmt.Errorf("obs: parse line %d: %w", lineNo, err)
 		}
@@ -96,7 +96,7 @@ func ParseProm(r io.Reader) ([]Sample, error) {
 						return nil, fmt.Errorf("obs: parse line %d: bad le %q", lineNo, le)
 					}
 				}
-				h.Buckets = append(h.Buckets, BucketCount{UpperBound: bound, Count: uint64(value)})
+				h.Buckets = append(h.Buckets, BucketCount{UpperBound: bound, Count: uint64(value), Exemplar: ex})
 			case "_sum":
 				h.Sum = value
 			case "_count":
@@ -153,15 +153,16 @@ func histogramFamily(name string, kinds map[string]Kind) (family, suffix string)
 	return "", ""
 }
 
-// parseSampleLine splits `name{labels} value` (labels optional) without
-// breaking on escaped quotes or commas inside label values.
-func parseSampleLine(line string) (name, labels string, value float64, err error) {
+// parseSampleLine splits `name{labels} value [# {exlabels} exvalue]` (labels
+// and exemplar optional) without breaking on escaped quotes or commas inside
+// label values.
+func parseSampleLine(line string) (name, labels string, value float64, ex *Exemplar, err error) {
 	rest := line
 	if i := strings.IndexByte(line, '{'); i >= 0 {
 		name = line[:i]
 		end := labelSetEnd(line[i:])
 		if end < 0 {
-			return "", "", 0, fmt.Errorf("unterminated label set in %q", line)
+			return "", "", 0, nil, fmt.Errorf("unterminated label set in %q", line)
 		}
 		labels = line[i : i+end+1]
 		rest = line[i+end+1:]
@@ -169,27 +170,73 @@ func parseSampleLine(line string) (name, labels string, value float64, err error
 		name = line[:sp]
 		rest = line[sp:]
 	} else {
-		return "", "", 0, fmt.Errorf("no value in %q", line)
+		return "", "", 0, nil, fmt.Errorf("no value in %q", line)
 	}
 	if name == "" {
-		return "", "", 0, fmt.Errorf("no metric name in %q", line)
+		return "", "", 0, nil, fmt.Errorf("no metric name in %q", line)
 	}
 	v := strings.TrimSpace(rest)
+	// OpenMetrics exemplar: everything after " # " ('#' cannot appear in a
+	// value or timestamp; label values were consumed above).
+	if i := strings.IndexByte(v, '#'); i >= 0 {
+		ex, err = parseExemplar(strings.TrimSpace(v[i+1:]))
+		if err != nil {
+			return "", "", 0, nil, err
+		}
+		v = strings.TrimSpace(v[:i])
+	}
 	// Prometheus allows an optional trailing timestamp; ignore it.
 	if sp := strings.IndexByte(v, ' '); sp >= 0 {
 		v = v[:sp]
 	}
+	value, err = parsePromFloat(v)
+	if err != nil {
+		return "", "", 0, nil, fmt.Errorf("bad value %q in %q", v, line)
+	}
+	return name, labels, value, ex, nil
+}
+
+// parseExemplar decodes `{trace_id="..."} value` after a bucket's `#`.
+func parseExemplar(s string) (*Exemplar, error) {
+	if !strings.HasPrefix(s, "{") {
+		return nil, fmt.Errorf("malformed exemplar %q", s)
+	}
+	end := labelSetEnd(s)
+	if end < 0 {
+		return nil, fmt.Errorf("unterminated exemplar label set in %q", s)
+	}
+	pairs, err := labelPairs(s[:end+1])
+	if err != nil {
+		return nil, err
+	}
+	ex := &Exemplar{}
+	for i := 0; i < len(pairs); i += 2 {
+		if pairs[i] == "trace_id" {
+			ex.TraceID = pairs[i+1]
+		}
+	}
+	v := strings.TrimSpace(s[end+1:])
+	if sp := strings.IndexByte(v, ' '); sp >= 0 {
+		v = v[:sp] // optional exemplar timestamp
+	}
+	if v == "" {
+		return nil, fmt.Errorf("exemplar without value in %q", s)
+	}
+	ex.Value, err = parsePromFloat(v)
+	if err != nil {
+		return nil, fmt.Errorf("bad exemplar value %q in %q", v, s)
+	}
+	return ex, nil
+}
+
+func parsePromFloat(v string) (float64, error) {
 	switch v {
 	case "+Inf", "Inf":
-		return name, labels, math.Inf(1), nil
+		return math.Inf(1), nil
 	case "-Inf":
-		return name, labels, math.Inf(-1), nil
+		return math.Inf(-1), nil
 	}
-	value, err = strconv.ParseFloat(v, 64)
-	if err != nil {
-		return "", "", 0, fmt.Errorf("bad value %q in %q", v, line)
-	}
-	return name, labels, value, nil
+	return strconv.ParseFloat(v, 64)
 }
 
 // labelSetEnd returns the index of the closing '}' of a label set starting at
@@ -376,11 +423,19 @@ type Aggregator struct {
 	// SelfJob, when non-empty, merges Registry's own snapshot into the
 	// federated view under this job name without an HTTP round trip.
 	SelfJob string
+	// TraceSlow, when > 0, logs a one-shot "slow trace" alert for any
+	// stitched fleet trace whose end-to-end duration reaches it.
+	TraceSlow time.Duration
+	// TraceBuffer bounds stitched traces retained in the fleet view
+	// (<= 0 uses DefaultFleetTraceBuffer).
+	TraceBuffer int
 
-	mu     sync.RWMutex
-	byJob  map[string][]Sample // target key -> relabelled samples
-	states map[string]*targetState
-	rounds uint64
+	mu         sync.RWMutex
+	byJob      map[string][]Sample // target key -> relabelled samples
+	states     map[string]*targetState
+	rounds     uint64
+	traces     map[string]*fleetTrace // trace ID -> stitched fleet trace
+	traceOrder []string
 }
 
 func (a *Aggregator) reg() *Registry {
@@ -411,6 +466,12 @@ func (a *Aggregator) ScrapeOnce(ctx context.Context) {
 	for _, t := range a.Targets {
 		samples, err := a.scrapeTarget(ctx, hc, t)
 		a.record(t, samples, err)
+		traces, terr := a.scrapeTraces(ctx, hc, t)
+		if terr != nil {
+			a.logger().Warn("trace scrape failed", "job", t.Job, "instance", t.Instance(), "err", terr)
+		} else {
+			a.mergeTraces(traces)
+		}
 	}
 	if a.SelfJob != "" {
 		self := a.reg().Snapshot()
@@ -604,8 +665,11 @@ const StaleEvidenceHeader = "X-Stale-Evidence"
 
 // Handler serves the fleet surface:
 //
-//	/metrics  the federated exposition (every job's series + job/instance labels)
-//	/fleet    a plain-text per-target summary (up/down, last scrape, series)
+//	/metrics            the federated exposition (every job's series + job/instance labels)
+//	/fleet              a plain-text per-target summary (up/down, last scrape, series)
+//	/fleet/traces       stitched cross-daemon trace summaries (same filters
+//	                    as the per-daemon /v1/traces)
+//	/fleet/traces/{id}  one stitched trace as a full span tree
 //
 // While any target is down, /metrics responses carry an X-Stale-Evidence
 // header naming the targets whose series are served from the last good round.
@@ -622,6 +686,8 @@ func (a *Aggregator) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		a.writeFleet(w)
 	})
+	mux.HandleFunc("GET /fleet/traces", a.handleFleetTraces)
+	mux.HandleFunc("GET /fleet/traces/{id}", a.handleFleetTrace)
 	return mux
 }
 

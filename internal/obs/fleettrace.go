@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file implements fleet trace assembly: the Aggregator scrapes every
+// target's /v1/traces alongside /metrics and stitches the per-daemon
+// fragments of each trace ID into one fleet-wide record — the spans a
+// request left in ctlogd, staleapid and the evidence fetcher become a single
+// tree, retrievable from /fleet/traces/{id}. Stitching works because the
+// tail-sampling verdict is trace-ID-consistent: a trace kept on one hop is
+// kept on all hops (error/slow keeps are local, but those hops' fragments
+// still carry the shared trace ID and merge with whatever else was kept).
+
+// DefaultFleetTraceBuffer bounds stitched traces retained by an Aggregator
+// when TraceBuffer is unset.
+const DefaultFleetTraceBuffer = 512
+
+// fleetTrace is one stitched trace being assembled across scrape rounds.
+type fleetTrace struct {
+	rec     TraceRecord
+	spanIDs map[string]struct{}
+	alerted bool
+}
+
+// scrapeTraces fetches one target's kept traces; targets running without
+// tracing (-trace-buffer=0 or an older build) answer 404 and are skipped.
+func (a *Aggregator) scrapeTraces(ctx context.Context, hc *http.Client, t Target) ([]TraceRecord, error) {
+	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	u := strings.TrimSuffix(t.URL, "/") + "/v1/traces?spans=1"
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, nil // tracing disabled on this target
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("obs: scrape traces %s: status %d", t.URL, resp.StatusCode)
+	}
+	var traces []TraceRecord
+	if err := json.NewDecoder(resp.Body).Decode(&traces); err != nil {
+		return nil, fmt.Errorf("obs: decode traces from %s: %w", t.URL, err)
+	}
+	return traces, nil
+}
+
+// mergeTraces folds one daemon's trace fragments into the fleet view:
+// spans dedup by span ID (re-scraping the same target is idempotent), the
+// summary extends to cover the earliest start and latest end seen, and the
+// root is taken from the earliest-starting fragment — the hop that
+// originated the request. Newly slow fleet traces raise a one-shot alert.
+func (a *Aggregator) mergeTraces(traces []TraceRecord) {
+	type alert struct{ rec TraceRecord }
+	var alerts []alert
+	a.mu.Lock()
+	if a.traces == nil {
+		a.traces = make(map[string]*fleetTrace)
+	}
+	for _, tr := range traces {
+		if tr.TraceID == "" {
+			continue
+		}
+		ft := a.traces[tr.TraceID]
+		if ft == nil {
+			ft = &fleetTrace{
+				rec:     TraceRecord{TraceID: tr.TraceID, Root: tr.Root, Route: tr.Route, Start: tr.Start, KeepReason: tr.KeepReason},
+				spanIDs: make(map[string]struct{}),
+			}
+			a.traces[tr.TraceID] = ft
+			a.traceOrder = append(a.traceOrder, tr.TraceID)
+			max := a.TraceBuffer
+			if max <= 0 {
+				max = DefaultFleetTraceBuffer
+			}
+			for len(a.traceOrder) > max {
+				delete(a.traces, a.traceOrder[0])
+				a.traceOrder = a.traceOrder[1:]
+			}
+		}
+		end := ft.rec.Start.Add(ft.rec.Duration)
+		if fragEnd := tr.Start.Add(tr.Duration); fragEnd.After(end) {
+			end = fragEnd
+		}
+		if tr.Start.Before(ft.rec.Start) {
+			// Earlier-starting fragment: this hop originated the request, so
+			// its root names the fleet trace.
+			ft.rec.Start = tr.Start
+			ft.rec.Root = tr.Root
+			if tr.Route != "" {
+				ft.rec.Route = tr.Route
+			}
+		}
+		ft.rec.Duration = end.Sub(ft.rec.Start)
+		ft.rec.Error = ft.rec.Error || tr.Error
+		ft.rec.KeepReason = strongerKeep(ft.rec.KeepReason, tr.KeepReason)
+		for _, sp := range tr.Spans {
+			if _, dup := ft.spanIDs[sp.SpanID]; dup {
+				continue
+			}
+			ft.spanIDs[sp.SpanID] = struct{}{}
+			ft.rec.Spans = append(ft.rec.Spans, sp)
+			ft.rec.Services = mergeService(ft.rec.Services, sp.Service)
+		}
+		if a.TraceSlow > 0 && ft.rec.Duration >= a.TraceSlow && !ft.alerted {
+			ft.alerted = true
+			alerts = append(alerts, alert{rec: copyTrace(&ft.rec, false)})
+		}
+	}
+	a.mu.Unlock()
+	for _, al := range alerts {
+		a.logger().Warn("slow trace", "trace_id", al.rec.TraceID,
+			"duration_ms", float64(al.rec.Duration.Microseconds())/1000,
+			"root", al.rec.Root, "services", strings.Join(al.rec.Services, ","),
+			"threshold_ms", float64(a.TraceSlow.Microseconds())/1000)
+		a.reg().Counter("obsagg_slow_traces_total").Inc()
+	}
+}
+
+// FleetTraces returns stitched traces newest-first under the filter.
+func (a *Aggregator) FleetTraces(f TraceFilter) []TraceRecord {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]TraceRecord, 0, len(a.traceOrder))
+	for i := len(a.traceOrder) - 1; i >= 0; i-- {
+		ft := a.traces[a.traceOrder[i]]
+		if f.Route != "" && ft.rec.Route != f.Route {
+			continue
+		}
+		if ft.rec.Duration < f.MinDuration {
+			continue
+		}
+		if f.ErrorOnly && !ft.rec.Error {
+			continue
+		}
+		out = append(out, copyTrace(&ft.rec, f.WithSpans))
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// FleetTrace returns one stitched trace with its spans.
+func (a *Aggregator) FleetTrace(id string) (TraceRecord, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	ft, ok := a.traces[id]
+	if !ok {
+		return TraceRecord{}, false
+	}
+	return copyTrace(&ft.rec, true), true
+}
+
+// TraceCount reports how many stitched traces the fleet view holds.
+func (a *Aggregator) TraceCount() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.traceOrder)
+}
+
+// strongerKeep merges keep reasons: error dominates slow dominates sampled —
+// the fleet record reports the strongest reason any hop kept the trace for.
+func strongerKeep(cur, next string) string {
+	rank := func(r string) int {
+		switch r {
+		case KeepError:
+			return 3
+		case KeepSlow:
+			return 2
+		case KeepSampled:
+			return 1
+		}
+		return 0
+	}
+	if rank(next) > rank(cur) {
+		return next
+	}
+	return cur
+}
+
+func (a *Aggregator) handleFleetTraces(w http.ResponseWriter, r *http.Request) {
+	f, err := parseTraceFilter(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	traces := a.FleetTraces(f)
+	// Newest-first is scrape-order here, not strictly time-order: re-sort by
+	// start so the listing reads chronologically.
+	sort.Slice(traces, func(i, j int) bool { return traces[i].Start.After(traces[j].Start) })
+	writeTraceJSON(w, traces)
+}
+
+func (a *Aggregator) handleFleetTrace(w http.ResponseWriter, r *http.Request) {
+	tr, ok := a.FleetTrace(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "unknown trace", http.StatusNotFound)
+		return
+	}
+	writeTraceJSON(w, TraceTreeJSON{
+		TraceID:    tr.TraceID,
+		Duration:   tr.Duration,
+		Services:   tr.Services,
+		Error:      tr.Error,
+		KeepReason: tr.KeepReason,
+		Spans:      BuildSpanTree(tr.Spans),
+	})
+}

@@ -87,6 +87,14 @@ func WriteSamples(w io.Writer, samples []Sample) {
 			fmt.Fprintf(w, "%s%s %s\n", s.Name, s.Labels, formatFloat(s.Value))
 		case KindHistogram:
 			for _, b := range s.Buckets {
+				if b.Exemplar != nil {
+					// OpenMetrics exemplar syntax: the bucket's last sampled
+					// observation with the trace ID it can be explained by.
+					fmt.Fprintf(w, "%s_bucket%s %d # {trace_id=\"%s\"} %s\n",
+						s.Name, withLE(s.Labels, b.UpperBound), b.Count,
+						escapeLabelValue(b.Exemplar.TraceID), formatFloat(b.Exemplar.Value))
+					continue
+				}
 				fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, withLE(s.Labels, b.UpperBound), b.Count)
 			}
 			fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, s.Labels, formatFloat(s.Sum))

@@ -6,6 +6,7 @@ import (
 	"log/slog"
 	"os"
 	"strings"
+	"time"
 )
 
 // SetupLogger builds a slog logger writing to stderr in the given format
@@ -39,28 +40,46 @@ func SetupLogger(format, level string) *slog.Logger {
 // Flags carries the standard observability flag values every cmd/ binary
 // accepts. Bind with BindFlags before flag.Parse, then call Setup.
 type Flags struct {
-	DebugAddr string
-	LogFormat string
-	LogLevel  string
+	DebugAddr   string
+	LogFormat   string
+	LogLevel    string
+	TraceBuffer int
+	TraceSample float64
+	TraceSlow   time.Duration
 }
 
-// BindFlags registers -debug-addr, -log-format and -log-level on fs.
+// BindFlags registers -debug-addr, -log-format, -log-level and the tracing
+// flags -trace-buffer, -trace-sample and -trace-slow on fs.
 func BindFlags(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
 	fs.StringVar(&f.DebugAddr, "debug-addr", "",
 		"serve /metrics, /debug/vars and /debug/pprof on this address (empty disables)")
 	fs.StringVar(&f.LogFormat, "log-format", "text", "log output format: text or json")
 	fs.StringVar(&f.LogLevel, "log-level", "info", "log level: debug, info, warn or error")
+	fs.IntVar(&f.TraceBuffer, "trace-buffer", 256,
+		"kept traces retained in memory for /v1/traces (0 disables tracing)")
+	fs.Float64Var(&f.TraceSample, "trace-sample", 0.10,
+		"fraction of healthy traces tail-kept (errors and slow traces are always kept)")
+	fs.DurationVar(&f.TraceSlow, "trace-slow", 250*time.Millisecond,
+		"root latency at or above which a trace is always kept")
 	return f
 }
 
-// Setup installs the configured logger (tagged with the component name) and,
-// when -debug-addr is set, starts the debug endpoint server — the Default
-// registry and DefaultHealth probes behind the request-scoped Middleware, so
-// the debug surface itself has RED metrics and access logs. The returned
-// stop func gracefully shuts the debug server down (no-op when disabled).
+// Setup installs the configured logger (tagged with the component name),
+// sizes the process-wide span store from the -trace-* flags, registers the
+// build_info and Go runtime gauges, and, when -debug-addr is set, starts the
+// debug endpoint server — the Default registry and DefaultHealth probes
+// behind the request-scoped Middleware, so the debug surface itself has RED
+// metrics and access logs. The returned stop func gracefully shuts the debug
+// server down (no-op when disabled).
 func (f *Flags) Setup(component string) (*slog.Logger, func(context.Context) error) {
 	logger := SetupLogger(f.LogFormat, f.LogLevel).With("component", component)
+	if f.TraceBuffer > 0 {
+		SetDefaultSpans(NewSpanStore(f.TraceBuffer, f.TraceSample, f.TraceSlow))
+	} else {
+		SetDefaultSpans(nil)
+	}
+	RegisterRuntimeMetrics(Default(), component)
 	stop := func(context.Context) error { return nil }
 	if f.DebugAddr != "" {
 		h := Middleware(Default(), component, HandlerFor(Default(), DefaultHealth()))
@@ -69,7 +88,7 @@ func (f *Flags) Setup(component string) (*slog.Logger, func(context.Context) err
 			logger.Error("debug server failed to start", "addr", f.DebugAddr, "err", err)
 		} else {
 			logger.Info("debug endpoints up", "addr", bound,
-				"endpoints", "/metrics /debug/vars /debug/pprof /healthz /readyz")
+				"endpoints", "/metrics /debug/vars /debug/pprof /healthz /readyz /v1/traces")
 			stop = shutdown
 		}
 	}

@@ -70,23 +70,37 @@ func (g *Gauge) Add(delta float64) {
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return floatFrom(g.bits.Load()) }
 
+// Exemplar links one histogram bucket to a sampled trace: the exposition
+// emits OpenMetrics `# {trace_id="..."} value` syntax after the bucket line,
+// so a latency spike points straight at a stored trace.
+type Exemplar struct {
+	TraceID string
+	Value   float64
+}
+
 // Histogram accumulates observations into fixed buckets with upper bounds
 // Bounds (plus an implicit +Inf overflow bucket). Safe for concurrent use.
 type Histogram struct {
-	bounds  []float64
-	counts  []atomic.Uint64 // len(bounds)+1; last is +Inf
-	count   atomic.Uint64
-	sumBits atomic.Uint64
+	bounds    []float64
+	counts    []atomic.Uint64 // len(bounds)+1; last is +Inf
+	exemplars []atomic.Pointer[Exemplar]
+	count     atomic.Uint64
+	sumBits   atomic.Uint64
 }
 
-// Observe records one value.
-func (h *Histogram) Observe(v float64) {
-	// First bucket whose upper bound contains v (v <= bound).
+// bucketIndex returns the first bucket whose upper bound contains v
+// (v <= bound); len(bounds) is the +Inf overflow bucket.
+func (h *Histogram) bucketIndex(v float64) int {
 	i := sort.SearchFloat64s(h.bounds, v)
 	if i < len(h.bounds) && h.bounds[i] < v {
 		i++
 	}
-	h.counts[i].Add(1)
+	return i
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.counts[h.bucketIndex(v)].Add(1)
 	h.count.Add(1)
 	for {
 		old := h.sumBits.Load()
@@ -95,6 +109,17 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one value and attaches the trace ID as the
+// exemplar of the bucket the observation lands in (last writer wins).
+// Callers pass only trace IDs that are retrievable — i.e. the tail sampler
+// kept the trace — so every exposed exemplar can be followed to /v1/traces.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if traceID != "" {
+		h.exemplars[h.bucketIndex(v)].Store(&Exemplar{TraceID: traceID, Value: v})
+	}
+	h.Observe(v)
 }
 
 // Count returns the number of observations.
@@ -150,6 +175,7 @@ type Registry struct {
 	mu       sync.RWMutex
 	metrics  map[string]*metric
 	families map[string]Kind
+	hooks    []func()
 }
 
 // NewRegistry creates an empty registry.
@@ -223,6 +249,7 @@ func (r *Registry) lookup(family string, kind Kind, bounds []float64, labelPairs
 	case KindHistogram:
 		h := &Histogram{bounds: bounds}
 		h.counts = make([]atomic.Uint64, len(bounds)+1)
+		h.exemplars = make([]atomic.Pointer[Exemplar], len(bounds)+1)
 		m.h = h
 	}
 	r.metrics[key] = m
@@ -280,10 +307,12 @@ func escapeLabelValue(v string) string {
 }
 
 // BucketCount is one histogram bucket in a snapshot: the cumulative count of
-// observations at or below UpperBound.
+// observations at or below UpperBound, plus the bucket's exemplar when an
+// observation was recorded with a sampled trace ID.
 type BucketCount struct {
 	UpperBound float64
 	Count      uint64 // cumulative
+	Exemplar   *Exemplar
 }
 
 // Sample is one metric's state in a snapshot.
@@ -305,9 +334,26 @@ type Sample struct {
 // FullName returns the family with its label set appended.
 func (s Sample) FullName() string { return s.Name + s.Labels }
 
+// OnSnapshot registers a hook run at the start of every Snapshot, before
+// metrics are collected. Runtime collectors use it to refresh point-in-time
+// gauges (goroutines, heap) exactly when a scrape reads them, with no
+// background ticker.
+func (r *Registry) OnSnapshot(hook func()) {
+	r.mu.Lock()
+	r.hooks = append(r.hooks, hook)
+	r.mu.Unlock()
+}
+
 // Snapshot returns a deterministic (sorted by family then labels) view of
 // every registered metric.
 func (r *Registry) Snapshot() []Sample {
+	r.mu.RLock()
+	hooks := append([]func(){}, r.hooks...)
+	r.mu.RUnlock()
+	for _, hook := range hooks {
+		hook()
+	}
+
 	r.mu.RLock()
 	ms := make([]*metric, 0, len(r.metrics))
 	for _, m := range r.metrics {
@@ -337,21 +383,24 @@ func (r *Registry) Snapshot() []Sample {
 			s.Buckets = make([]BucketCount, 0, len(m.h.bounds)+1)
 			for i, b := range m.h.bounds {
 				cum += m.h.counts[i].Load()
-				s.Buckets = append(s.Buckets, BucketCount{UpperBound: b, Count: cum})
+				s.Buckets = append(s.Buckets, BucketCount{UpperBound: b, Count: cum,
+					Exemplar: m.h.exemplars[i].Load()})
 			}
 			cum += m.h.counts[len(m.h.bounds)].Load()
-			s.Buckets = append(s.Buckets, BucketCount{UpperBound: inf, Count: cum})
+			s.Buckets = append(s.Buckets, BucketCount{UpperBound: inf, Count: cum,
+				Exemplar: m.h.exemplars[len(m.h.bounds)].Load()})
 		}
 		out = append(out, s)
 	}
 	return out
 }
 
-// Reset drops every registered metric. Intended for tests that assert on the
-// Default registry.
+// Reset drops every registered metric and snapshot hook. Intended for tests
+// that assert on the Default registry.
 func (r *Registry) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.metrics = make(map[string]*metric)
 	r.families = make(map[string]Kind)
+	r.hooks = nil
 }

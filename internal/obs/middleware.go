@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"log/slog"
 	"net/http"
 	"runtime/debug"
@@ -27,7 +28,23 @@ import (
 // The route label comes from the ServeMux pattern that matched (bounded
 // cardinality even for parameterised routes like /crl/{ca}); unmatched
 // requests are labelled "unmatched".
+//
+// The middleware also records one server span per request into the
+// process-wide span store (DefaultSpans): an incoming traceparent's span ID
+// becomes the server span's parent (stitching the caller's client span to
+// this hop), a fresh span ID is minted for the request itself, and when the
+// request finishes the store makes the tail-based keep/drop decision for the
+// whole locally-buffered trace. Kept requests attach their trace ID as the
+// latency histogram's bucket exemplar, so a p99 spike in
+// http_request_seconds links directly to a stored trace.
 func Middleware(reg *Registry, service string, next http.Handler) http.Handler {
+	return MiddlewareSpans(reg, nil, service, next)
+}
+
+// MiddlewareSpans is Middleware with an explicit span store; spans == nil
+// resolves DefaultSpans per request (tests and fleet simulations pass
+// private stores).
+func MiddlewareSpans(reg *Registry, spans *SpanStore, service string, next http.Handler) http.Handler {
 	if reg == nil {
 		reg = Default()
 	}
@@ -35,8 +52,14 @@ func Middleware(reg *Registry, service string, next http.Handler) http.Handler {
 	panics := reg.Counter("http_panics_total", "service", service)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		parentSpan := ""
 		id, ok := ParseTraceparent(r.Header.Get(TraceHeader))
-		if !ok {
+		if ok {
+			// The incoming span ID is the caller's client span: it parents
+			// this hop's server span, which gets a fresh span ID of its own.
+			parentSpan = id.Span()
+			id = id.Child()
+		} else {
 			id = NewRequestID()
 		}
 		r = r.WithContext(ContextWithRequestID(r.Context(), id))
@@ -46,24 +69,49 @@ func Middleware(reg *Registry, service string, next http.Handler) http.Handler {
 		inFlight.Add(1)
 		defer func() {
 			inFlight.Add(-1)
+			spanErr := ""
 			if rec := recover(); rec != nil {
 				panics.Inc()
 				if !sw.wrote {
 					http.Error(sw.ResponseWriter, "internal server error", http.StatusInternalServerError)
 				}
 				sw.status = http.StatusInternalServerError
+				spanErr = fmt.Sprintf("panic: %v", rec)
 				slog.Error("handler panic", "service", service, "method", r.Method,
 					"path", r.URL.Path, "request_id", id.Trace(),
 					"panic", rec, "stack", string(debug.Stack()))
 			}
+			elapsed := time.Since(start)
 			route := routeLabel(r)
 			code := statusClass(sw.status)
 			reg.Counter("http_requests_total", "service", service, "route", route, "code", code).Inc()
-			reg.Histogram("http_request_seconds", nil, "service", service, "route", route).
-				Observe(time.Since(start).Seconds())
+
+			st := spans
+			if st == nil {
+				st = DefaultSpans()
+			}
+			kept := st.RecordRoot(SpanRecord{
+				TraceID:  id.Trace(),
+				SpanID:   id.Span(),
+				ParentID: parentSpan,
+				Service:  service,
+				Name:     r.Method + " " + route,
+				Kind:     SpanServer,
+				Start:    start,
+				Duration: elapsed,
+				Route:    route,
+				Status:   sw.status,
+				Err:      spanErr,
+			})
+			hist := reg.Histogram("http_request_seconds", nil, "service", service, "route", route)
+			if kept {
+				hist.ObserveExemplar(elapsed.Seconds(), id.Trace())
+			} else {
+				hist.Observe(elapsed.Seconds())
+			}
 			slog.Info("http request", "service", service, "method", r.Method,
 				"route", route, "path", r.URL.Path, "status", sw.status,
-				"bytes", sw.bytes, "duration_ms", float64(time.Since(start).Microseconds())/1000,
+				"bytes", sw.bytes, "duration_ms", float64(elapsed.Microseconds())/1000,
 				"remote", r.RemoteAddr, "request_id", id.Trace())
 		}()
 		next.ServeHTTP(sw, r)

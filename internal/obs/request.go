@@ -48,6 +48,9 @@ func (id RequestID) String() string {
 // Trace returns the hex trace ID — the value access logs record.
 func (id RequestID) Trace() string { return hex.EncodeToString(id.TraceID[:]) }
 
+// Span returns the hex span ID — the form span records store and link by.
+func (id RequestID) Span() string { return hex.EncodeToString(id.SpanID[:]) }
+
 // Child returns the ID with a fresh span ID, for an outgoing hop that stays
 // inside the same trace.
 func (id RequestID) Child() RequestID {
@@ -104,4 +107,19 @@ func RequestIDFromContext(ctx context.Context) (RequestID, bool) {
 // RequestIDFromRequest is a convenience for handlers below a Middleware.
 func RequestIDFromRequest(r *http.Request) (RequestID, bool) {
 	return RequestIDFromContext(r.Context())
+}
+
+type attemptKey struct{}
+
+// ContextWithAttempt returns ctx carrying a retry attempt number (1-based).
+// The resilient transport tags each attempt's context so the per-attempt
+// client span records which try it was.
+func ContextWithAttempt(ctx context.Context, attempt int) context.Context {
+	return context.WithValue(ctx, attemptKey{}, attempt)
+}
+
+// AttemptFromContext extracts the attempt number, or 0 when unset.
+func AttemptFromContext(ctx context.Context) int {
+	n, _ := ctx.Value(attemptKey{}).(int)
+	return n
 }

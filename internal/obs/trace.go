@@ -172,6 +172,66 @@ func (t *Trace) daysLocked(s *Span) string {
 	return fmt.Sprintf("%d..%d", s.dayFrom, s.dayTo)
 }
 
+// Record mirrors the trace's stage tree into the span store as "stage"
+// spans, so pipeline internals (evidence fetch, detector, join) show up
+// inside the distributed trace of the request that ran them. Each stage gets
+// a minted span ID; the root stage parents under id's span, stitching the
+// stage tree beneath the enclosing server or call span. When id is zero —
+// a standalone pipeline with no enclosing request, like cmd/experiments —
+// a fresh trace is minted and the root stage becomes the trace's local root,
+// making the tail keep/drop decision itself.
+//
+// st == nil resolves DefaultSpans; recording into a disabled (nil) store is
+// a no-op.
+func (t *Trace) Record(st *SpanStore, id RequestID, service string) {
+	if st == nil {
+		st = DefaultSpans()
+	}
+	if st == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id.IsZero() {
+		id = NewRequestID()
+		// Children first: they buffer as pending, then the root's RecordRoot
+		// makes the keep/drop decision for the whole batch.
+		for _, c := range t.root.children {
+			t.recordStagesLocked(st, c, id, id.Span(), service)
+		}
+		st.RecordRoot(SpanRecord{
+			TraceID:  id.Trace(),
+			SpanID:   id.Span(),
+			Service:  service,
+			Name:     t.root.Name,
+			Kind:     SpanStage,
+			Start:    t.root.start,
+			Duration: t.durLocked(t.root),
+			Items:    t.root.items,
+		})
+		return
+	}
+	t.recordStagesLocked(st, t.root, id, id.Span(), service)
+}
+
+func (t *Trace) recordStagesLocked(st *SpanStore, s *Span, id RequestID, parent, service string) {
+	sid := id.Child().Span()
+	st.Record(SpanRecord{
+		TraceID:  id.Trace(),
+		SpanID:   sid,
+		ParentID: parent,
+		Service:  service,
+		Name:     s.Name,
+		Kind:     SpanStage,
+		Start:    s.start,
+		Duration: t.durLocked(s),
+		Items:    s.items,
+	})
+	for _, c := range s.children {
+		t.recordStagesLocked(st, c, id, sid, service)
+	}
+}
+
 // Render returns an indented human-readable stage tree.
 func (t *Trace) Render() string {
 	t.mu.Lock()
@@ -182,7 +242,15 @@ func (t *Trace) Render() string {
 }
 
 func (t *Trace) renderLocked(b *strings.Builder, s *Span, depth int) {
-	fmt.Fprintf(b, "%-*s%-*s %10s", 2*depth, "", 30-2*depth, s.Name, t.durLocked(s).Round(time.Microsecond))
+	// Past depth 14 the name column width 30-2*depth goes non-positive; fmt
+	// interprets a negative * width as its absolute value, which would make
+	// deep spans pad *wider* again as depth grows. Clamp so columns degrade
+	// gracefully instead.
+	nameWidth := 30 - 2*depth
+	if nameWidth < 1 {
+		nameWidth = 1
+	}
+	fmt.Fprintf(b, "%-*s%-*s %10s", 2*depth, "", nameWidth, s.Name, t.durLocked(s).Round(time.Microsecond))
 	if s.items > 0 {
 		fmt.Fprintf(b, "  items=%d", s.items)
 	}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -95,5 +96,84 @@ func TestRenderShape(t *testing.T) {
 	}
 	if !strings.HasPrefix(lines[1], "  stage") || !strings.Contains(lines[1], "items=3") {
 		t.Errorf("line 1 = %q", lines[1])
+	}
+}
+
+func TestRenderDeepNesting(t *testing.T) {
+	// Depth past 14 used to hand fmt a negative name-column width (30-2*depth
+	// with the * verb), which pads by the absolute value — deep spans grew
+	// wider again. The width is clamped now; just require every level to
+	// render with monotonically non-decreasing indentation and no panic.
+	tr := NewTrace("root")
+	for i := 0; i < 20; i++ {
+		tr.StartSpan(fmt.Sprintf("level%d", i))
+	}
+	tr.End()
+	out := tr.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 21 {
+		t.Fatalf("render lines = %d, want 21:\n%s", len(lines), out)
+	}
+	prevIndent := -1
+	for i, line := range lines {
+		indent := len(line) - len(strings.TrimLeft(line, " "))
+		if indent < prevIndent {
+			t.Fatalf("line %d indent %d < previous %d:\n%s", i, indent, prevIndent, out)
+		}
+		prevIndent = indent
+	}
+	if !strings.Contains(lines[20], "level19") {
+		t.Errorf("deepest line = %q", lines[20])
+	}
+}
+
+func TestTraceRecordMirrorsStages(t *testing.T) {
+	st := NewSpanStore(8, 1, 0)
+	st.Registry = NewRegistry()
+
+	// Under an enclosing request: stages parent beneath the request's span.
+	id := NewRequestID()
+	tr := NewTrace("staleness")
+	sp := tr.StartSpan("evidence")
+	sp.AddItems(2)
+	sp.End()
+	tr.StartSpan("detect").End()
+	tr.End()
+	tr.Record(st, id, "staleapid")
+	st.RecordRoot(SpanRecord{TraceID: id.Trace(), SpanID: id.Span(), Service: "staleapid",
+		Name: "GET /v1/...", Kind: SpanServer, Status: 200})
+	rec, ok := st.Trace(id.Trace())
+	if !ok {
+		t.Fatal("trace not kept")
+	}
+	// root stage + evidence + detect + server root
+	if len(rec.Spans) != 4 {
+		t.Fatalf("got %d spans, want 4: %+v", len(rec.Spans), rec.Spans)
+	}
+	roots := BuildSpanTree(rec.Spans)
+	if len(roots) != 1 || roots[0].SpanID != id.Span() {
+		t.Fatalf("stage spans did not attach under the request span: %+v", roots)
+	}
+	stageRoot := roots[0].Children[0]
+	if stageRoot.Kind != SpanStage || stageRoot.Name != "staleness" || len(stageRoot.Children) != 2 {
+		t.Fatalf("stage tree wrong: %+v", stageRoot)
+	}
+	if stageRoot.Children[0].Items+stageRoot.Children[1].Items != 2 {
+		t.Fatalf("stage items lost: %+v", stageRoot.Children)
+	}
+
+	// Standalone (zero RequestID): the root stage roots and keeps the trace.
+	st2 := NewSpanStore(8, 1, 0)
+	st2.Registry = NewRegistry()
+	tr2 := NewTrace("pipeline")
+	tr2.StartSpan("build").End()
+	tr2.End()
+	tr2.Record(st2, RequestID{}, "experiments")
+	if st2.Len() != 1 {
+		t.Fatalf("standalone trace not kept, len=%d", st2.Len())
+	}
+	got := st2.Traces(TraceFilter{WithSpans: true})[0]
+	if got.Root != "experiments pipeline" || len(got.Spans) != 2 {
+		t.Fatalf("standalone trace wrong: root=%q spans=%d", got.Root, len(got.Spans))
 	}
 }

@@ -12,6 +12,15 @@ import (
 // per-peer latency and outcome metrics, and emits a debug-level slog record
 // per call carrying the trace ID for client/server log correlation.
 //
+// Each round trip also records one client span into the span store (Spans,
+// nil for the process-wide DefaultSpans): the span's parent is the caller's
+// context span, so an enclosing server request shows its outbound fan-out,
+// and the resilient transport's per-attempt invocations become sibling spans
+// tagged with their attempt number — retries are visible in the trace. When
+// the transport minted the trace itself (no context ID — a free-standing
+// client like a poller), the client span is the trace's local root and the
+// tail-sampling decision runs immediately.
+//
 // Metrics (peer is the target host:port):
 //
 //	http_client_requests_total{service,peer,code}   code: 2xx..5xx or "error"
@@ -23,6 +32,8 @@ type Transport struct {
 	Base     http.RoundTripper
 	Registry *Registry
 	Service  string
+	// Spans receives the client spans; nil resolves DefaultSpans per call.
+	Spans *SpanStore
 }
 
 // RoundTrip implements http.RoundTripper.
@@ -35,8 +46,10 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	if reg == nil {
 		reg = Default()
 	}
-	id, ok := RequestIDFromContext(req.Context())
-	if ok {
+	parentSpan := ""
+	id, hadID := RequestIDFromContext(req.Context())
+	if hadID {
+		parentSpan = id.Span()
 		id = id.Child()
 	} else {
 		id = NewRequestID()
@@ -52,13 +65,43 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 
 	code := "error"
 	status := 0
+	errStr := ""
 	if err == nil {
 		code = statusClass(resp.StatusCode)
 		status = resp.StatusCode
+	} else {
+		errStr = err.Error()
 	}
 	reg.Counter("http_client_requests_total", "service", t.Service, "peer", peer, "code", code).Inc()
 	reg.Histogram("http_client_request_seconds", nil, "service", t.Service, "peer", peer).
 		Observe(elapsed.Seconds())
+
+	rec := SpanRecord{
+		TraceID:  id.Trace(),
+		SpanID:   id.Span(),
+		ParentID: parentSpan,
+		Service:  t.Service,
+		Name:     req.Method + " " + req.URL.Path,
+		Kind:     SpanClient,
+		Start:    start,
+		Duration: elapsed,
+		Peer:     peer,
+		Status:   status,
+		Attempt:  AttemptFromContext(req.Context()),
+		Err:      errStr,
+	}
+	st := t.Spans
+	if st == nil {
+		st = DefaultSpans()
+	}
+	if hadID {
+		st.Record(rec)
+	} else {
+		// This transport originated the trace, so the client span is the
+		// local root: decide keep/drop now.
+		st.RecordRoot(rec)
+	}
+
 	slog.Debug("http request", "service", t.Service, "direction", "client",
 		"method", req.Method, "peer", peer, "path", req.URL.Path, "status", status,
 		"err", err, "duration_ms", float64(elapsed.Microseconds())/1000,

@@ -7,7 +7,7 @@
 //
 // The composition order for an instrumented client is
 //
-//	resil.Transport → resil.Chaos (tests only) → obs.Transport → net/http
+//	resil.Transport → obs.Transport → resil.Chaos (tests only) → net/http
 //
 // so every attempt — including injected and retried ones — is individually
 // traced and counted by the obs layer, while the caller above the resilient
@@ -37,6 +37,10 @@ type Options struct {
 	// Chaos, when non-nil, injects faults between the resilient transport
 	// and the instrumented base — test wiring only.
 	Chaos *Chaos
+	// Spans, when non-nil, receives the call and per-attempt client spans
+	// instead of the process-wide obs.DefaultSpans store (fleet simulations
+	// and tests give each in-process daemon its own store).
+	Spans *obs.SpanStore
 }
 
 // InstrumentClient wraps hc (nil = default-client semantics) so every call
@@ -53,19 +57,28 @@ func InstrumentClient(hc *http.Client, opts Options) *http.Client {
 			return hc // already resilient
 		}
 	}
-	// Per-attempt instrumentation first, so each retry is its own traced,
+	// Chaos sits at the very bottom, beneath the obs transport, so injected
+	// faults are traced and counted per attempt exactly like wild ones.
+	if opts.Chaos != nil {
+		c := http.Client{}
+		if hc != nil {
+			c = *hc
+		}
+		c.Transport = opts.Chaos.WithBase(c.Transport)
+		hc = &c
+	}
+	// Per-attempt instrumentation next, so each retry is its own traced,
 	// counted client call.
 	instrumented := obs.InstrumentClient(hc, opts.Service)
-	base := instrumented.Transport
-	if opts.Chaos != nil {
-		base = opts.Chaos.WithBase(base)
+	if ot, ok := instrumented.Transport.(*obs.Transport); ok && opts.Spans != nil {
+		ot.Spans = opts.Spans
 	}
 	breakers := opts.Breaker
 	if breakers == nil && !opts.NoBreaker {
 		breakers = NewBreakerSet(BreakerConfig{Service: opts.Service})
 	}
 	wrapped := *instrumented
-	wrapped.Transport = &Transport{Base: base, Policy: opts.Policy, Breakers: breakers}
+	wrapped.Transport = &Transport{Base: instrumented.Transport, Policy: opts.Policy, Breakers: breakers, Spans: opts.Spans}
 	return &wrapped
 }
 

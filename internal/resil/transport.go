@@ -7,6 +7,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
+
+	"stalecert/internal/obs"
 )
 
 // DefaultMaxBodyBytes bounds how much of a response the transport buffers to
@@ -34,6 +37,9 @@ type Transport struct {
 	// Larger bodies are streamed through un-buffered and not retryable
 	// mid-read.
 	MaxBodyBytes int64
+	// Spans receives the logical call span each round trip records; nil
+	// resolves the process-wide obs.DefaultSpans per call.
+	Spans *obs.SpanStore
 }
 
 // cancelBody ties a per-attempt context cancel to body close for responses
@@ -52,9 +58,68 @@ func (b *cancelBody) Close() error {
 	return err
 }
 
-// RoundTrip implements http.RoundTripper.
+// RoundTrip implements http.RoundTripper. Beyond the retry loop it anchors
+// the call in the distributed trace: a logical "call" span covering every
+// attempt is recorded when the loop finishes, parented under the caller's
+// context span, and each attempt runs with that call span as its context ID
+// plus an attempt number — so the per-attempt client spans the obs transport
+// records underneath become numbered siblings and retries are visible in the
+// stored trace. A call with no request ID in its context (a free-standing
+// poller) mints the trace here, and the call span is its local root: the
+// tail-sampling keep/drop decision runs when the call completes.
 func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	p := t.Policy.withDefaults()
+
+	parentSpan := ""
+	id, hadID := obs.RequestIDFromContext(req.Context())
+	if hadID {
+		parentSpan = id.Span()
+		id = id.Child()
+	} else {
+		id = obs.NewRequestID()
+	}
+	req = req.Clone(obs.ContextWithRequestID(req.Context(), id))
+
+	start := time.Now()
+	resp, attempts, err := t.retryLoop(req, p)
+	elapsed := time.Since(start)
+
+	status := 0
+	errStr := ""
+	if err != nil {
+		errStr = err.Error()
+	} else if resp != nil {
+		status = resp.StatusCode
+	}
+	rec := obs.SpanRecord{
+		TraceID:  id.Trace(),
+		SpanID:   id.Span(),
+		ParentID: parentSpan,
+		Service:  p.Service,
+		Name:     req.Method + " " + req.URL.Path,
+		Kind:     obs.SpanCall,
+		Start:    start,
+		Duration: elapsed,
+		Peer:     req.URL.Host,
+		Status:   status,
+		Attempt:  attempts,
+		Err:      errStr,
+	}
+	st := t.Spans
+	if st == nil {
+		st = obs.DefaultSpans()
+	}
+	if hadID {
+		st.Record(rec)
+	} else {
+		st.RecordRoot(rec)
+	}
+	return resp, err
+}
+
+// retryLoop runs the attempt/backoff loop and reports how many attempts it
+// spent.
+func (t *Transport) retryLoop(req *http.Request, p Policy) (*http.Response, int, error) {
 	maxBody := t.MaxBodyBytes
 	if maxBody <= 0 {
 		maxBody = DefaultMaxBodyBytes
@@ -63,42 +128,42 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	var lastErr error
 	for attempt := 1; ; attempt++ {
 		if err := ctx.Err(); err != nil {
-			return nil, joinCtx(err, lastErr)
+			return nil, attempt - 1, joinCtx(err, lastErr)
 		}
 		if attempt > 1 && req.Body != nil && req.GetBody == nil {
 			// The body was consumed and cannot be replayed.
-			return nil, fmt.Errorf("resil: cannot retry request with unreplayable body: %w", lastErr)
+			return nil, attempt - 1, fmt.Errorf("resil: cannot retry request with unreplayable body: %w", lastErr)
 		}
 		resp, err, final := t.attempt(req, p, attempt, maxBody)
 		if err == nil {
-			return resp, nil
+			return resp, attempt, nil
 		}
 		lastErr = err
 		if final != nil {
 			// Retry budget spent on a retryable status: hand the caller the
 			// real response rather than a synthesized error.
-			return final, nil
+			return final, attempt, nil
 		}
 		if cerr := ctx.Err(); cerr != nil {
-			return nil, joinCtx(cerr, lastErr)
+			return nil, attempt, joinCtx(cerr, lastErr)
 		}
 		verdict := p.Classify(err)
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			verdict = Retryable // per-attempt budget, overall context is live
 		}
 		if verdict == Terminal || attempt >= p.MaxAttempts {
-			return nil, lastErr
+			return nil, attempt, lastErr
 		}
 		delay := p.delay(attempt, err)
 		if deadline, ok := ctx.Deadline(); ok && p.Clock.Now().Add(delay).After(deadline) {
-			return nil, joinCtx(context.DeadlineExceeded, lastErr)
+			return nil, attempt, joinCtx(context.DeadlineExceeded, lastErr)
 		}
 		retryCounter(p.Service).Inc()
 		if p.OnRetry != nil {
 			p.OnRetry(attempt, err, delay)
 		}
 		if serr := p.Clock.Sleep(ctx, delay); serr != nil {
-			return nil, joinCtx(serr, lastErr)
+			return nil, attempt, joinCtx(serr, lastErr)
 		}
 	}
 }
@@ -122,7 +187,9 @@ func (t *Transport) attempt(req *http.Request, p Policy, attempt int, maxBody in
 		report = func(bool) {}
 	}
 
-	ctx := req.Context()
+	// Tag the attempt number so the obs transport below records which try
+	// this was: retries show as numbered sibling spans in the trace.
+	ctx := obs.ContextWithAttempt(req.Context(), attempt)
 	cancel := context.CancelFunc(nil)
 	if p.PerAttempt > 0 {
 		ctx, cancel = context.WithTimeout(ctx, p.PerAttempt)

@@ -297,19 +297,32 @@ func (s *Server) EvidenceProbe(context.Context) error {
 }
 
 // staleness computes one domain's verdict: gather evidence, run the shared
-// per-domain detector logic against the store index, render.
+// per-domain detector logic against the store index, render. The stage
+// timings (evidence vs detect) are mirrored into the request's distributed
+// trace, so a slow staleness query shows which half cost the time.
 func (s *Server) staleness(ctx context.Context, domain string) (StalenessResponse, error) {
+	tr := obs.NewTrace("staleness " + domain)
+	defer func() {
+		tr.End()
+		if id, ok := obs.RequestIDFromContext(ctx); ok {
+			tr.Record(nil, id, "staleapid")
+		}
+	}()
 	var ev core.DomainEvidence
 	ev.RevocationCutoff = simtime.NoDay
 	if s.evidence != nil {
+		sp := tr.StartSpan("evidence")
 		var err error
 		ev, err = s.evidence(ctx, domain)
+		sp.End()
 		if err != nil {
 			return StalenessResponse{}, fmt.Errorf("evidence for %s: %w", domain, err)
 		}
 	}
 	now := s.now()
+	sp := tr.StartSpan("detect")
 	stale := core.DomainStaleness(s.store, domain, ev)
+	sp.End()
 	resp := StalenessResponse{
 		Domain:       domain,
 		Now:          now.String(),

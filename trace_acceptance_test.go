@@ -1,0 +1,222 @@
+package stalecert_test
+
+// Trace acceptance: the ISSUE's end-to-end criterion. A request enters a
+// staleapid-shaped daemon, fans out an evidence fetch to a ctlogd-shaped
+// daemon through the resilient client, and the first attempt fails — the
+// whole journey must be retrievable from the fleet aggregator's
+// /fleet/traces/{id} as ONE stitched span tree spanning both daemons, with
+// the retry attempts visible as numbered sibling client spans, and the
+// daemon's latency histogram must expose a trace-ID exemplar that
+// obs.ParseProm round-trips.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stalecert/internal/obs"
+	"stalecert/internal/resil"
+)
+
+// tracedDaemon bundles one in-process daemon's observability surface: its
+// private registry and span store, plus an httptest server exposing the
+// debug endpoints the aggregator scrapes (/metrics, /v1/traces).
+type tracedDaemon struct {
+	reg   *obs.Registry
+	spans *obs.SpanStore
+	debug *httptest.Server
+}
+
+func newTracedDaemon(t *testing.T) *tracedDaemon {
+	t.Helper()
+	d := &tracedDaemon{reg: obs.NewRegistry(), spans: obs.NewSpanStore(64, 0, 0)}
+	d.spans.Registry = d.reg
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		obs.WriteProm(w, d.reg)
+	})
+	mux.Handle("GET /v1/traces", d.spans.Handler())
+	mux.Handle("GET /v1/traces/{id}", d.spans.Handler())
+	d.debug = httptest.NewServer(mux)
+	t.Cleanup(d.debug.Close)
+	return d
+}
+
+func TestRequestTracedAcrossFleet(t *testing.T) {
+	// ctlogd: flaky — the first get-sth 503s, the retry succeeds. Both
+	// requests land in ctlogd's own span store via the server middleware.
+	ct := newTracedDaemon(t)
+	var hits atomic.Int64
+	ctMux := http.NewServeMux()
+	ctMux.HandleFunc("GET /ct/v1/get-sth", func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			http.Error(w, "wedged", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"tree_size":17}`))
+	})
+	ctSrv := httptest.NewServer(obs.MiddlewareSpans(ct.reg, ct.spans, "ctlogd", ctMux))
+	defer ctSrv.Close()
+
+	// staleapid: its staleness handler performs the evidence fetch against
+	// ctlogd through the full resilience stack, propagating the request
+	// context so every attempt joins the incoming trace.
+	api := newTracedDaemon(t)
+	evidenceClient := resil.InstrumentClient(ctSrv.Client(), resil.Options{
+		Service:   "staleapid",
+		NoBreaker: true,
+		Spans:     api.spans,
+		Policy: resil.Policy{
+			MaxAttempts: 3,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    2 * time.Millisecond,
+			Jitter:      func(d time.Duration) time.Duration { return d },
+		},
+	})
+	apiMux := http.NewServeMux()
+	apiMux.HandleFunc("GET /v1/domain/{e2ld}/staleness", func(w http.ResponseWriter, r *http.Request) {
+		req, _ := http.NewRequestWithContext(r.Context(), http.MethodGet, ctSrv.URL+"/ct/v1/get-sth", nil)
+		resp, err := evidenceClient.Do(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		w.Write([]byte(`{"domain":"` + r.PathValue("e2ld") + `","stale":[]}`))
+	})
+	apiSrv := httptest.NewServer(obs.MiddlewareSpans(api.reg, api.spans, "staleapid", apiMux))
+	defer apiSrv.Close()
+
+	// Drive one request carrying our own traceparent, so the trace ID is
+	// known up front. Both stores run at sample rate 0: only the failed
+	// first attempt keeps this trace, on both daemons independently.
+	caller := obs.NewRequestID()
+	req, _ := http.NewRequest(http.MethodGet, apiSrv.URL+"/v1/domain/example.com/staleness", nil)
+	req.Header.Set(obs.TraceHeader, caller.String())
+	resp, err := apiSrv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("staleness request status %d", resp.StatusCode)
+	}
+
+	// Fleet assembly: obsagg scrapes both daemons and stitches the shared
+	// trace ID into one tree.
+	agg := &obs.Aggregator{
+		Targets: []obs.Target{
+			{Job: "staleapid", URL: api.debug.URL},
+			{Job: "ctlogd", URL: ct.debug.URL},
+		},
+		Registry: obs.NewRegistry(),
+	}
+	agg.ScrapeOnce(context.Background())
+
+	aggSrv := httptest.NewServer(agg.Handler())
+	defer aggSrv.Close()
+	fresp, err := aggSrv.Client().Get(aggSrv.URL + "/fleet/traces/" + caller.Trace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresp.Body.Close()
+	if fresp.StatusCode != http.StatusOK {
+		t.Fatalf("/fleet/traces/{id} status %d", fresp.StatusCode)
+	}
+	var tree obs.TraceTreeJSON
+	if err := json.NewDecoder(fresp.Body).Decode(&tree); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(tree.Services) != 2 || tree.Services[0] != "ctlogd" || tree.Services[1] != "staleapid" {
+		t.Fatalf("stitched services = %v, want both daemons", tree.Services)
+	}
+	if !tree.Error || tree.KeepReason != obs.KeepError {
+		t.Fatalf("trace error=%v keep=%q, want tail-kept by the error rule", tree.Error, tree.KeepReason)
+	}
+	if len(tree.Spans) != 1 {
+		t.Fatalf("stitched tree has %d roots, want 1:\n%+v", len(tree.Spans), tree.Spans)
+	}
+
+	// The stitched anatomy, hop by hop: staleapid's server span, under it
+	// the logical evidence call, under that the two numbered attempts, and
+	// under EACH attempt the ctlogd server span that handled it.
+	root := tree.Spans[0]
+	if root.Kind != obs.SpanServer || root.Service != "staleapid" || root.Route != "/v1/domain/{e2ld}/staleness" {
+		t.Fatalf("root span wrong: %+v", root.SpanRecord)
+	}
+	if len(root.Children) != 1 {
+		t.Fatalf("root has %d children, want the one evidence call", len(root.Children))
+	}
+	call := root.Children[0]
+	if call.Kind != obs.SpanCall || call.Attempt != 2 || call.Status != http.StatusOK {
+		t.Fatalf("call span wrong: %+v", call.SpanRecord)
+	}
+	if len(call.Children) != 2 {
+		t.Fatalf("call has %d attempt children, want 2 sibling attempts", len(call.Children))
+	}
+	for i, att := range call.Children {
+		if att.Kind != obs.SpanClient || att.Attempt != i+1 {
+			t.Fatalf("attempt %d span wrong: %+v", i+1, att.SpanRecord)
+		}
+		if len(att.Children) != 1 || att.Children[0].Service != "ctlogd" || att.Children[0].Kind != obs.SpanServer {
+			t.Fatalf("attempt %d not stitched to its ctlogd server span: %+v", i+1, att.Children)
+		}
+		if att.Children[0].Status != att.Status {
+			t.Fatalf("attempt %d status %d but its server span saw %d", i+1, att.Status, att.Children[0].Status)
+		}
+	}
+	if call.Children[0].Status != http.StatusServiceUnavailable || call.Children[1].Status != http.StatusOK {
+		t.Fatalf("attempt statuses = %d, %d; want 503 then 200",
+			call.Children[0].Status, call.Children[1].Status)
+	}
+
+	// Exemplars: staleapid's latency histogram links the kept trace from its
+	// exposition, in OpenMetrics syntax that ParseProm round-trips — the
+	// same path the aggregator just used.
+	mresp, err := api.debug.Client().Get(api.debug.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mbody), `# {trace_id="`+caller.Trace()+`"}`) {
+		t.Fatalf("/metrics exposes no exemplar for the kept trace:\n%s", mbody)
+	}
+	samples, err := obs.ParseProm(strings.NewReader(string(mbody)))
+	if err != nil {
+		t.Fatalf("ParseProm rejected exemplar exposition: %v", err)
+	}
+	linked := false
+	for _, s := range samples {
+		if s.Name != "http_request_seconds" {
+			continue
+		}
+		for _, b := range s.Buckets {
+			if b.Exemplar != nil && b.Exemplar.TraceID == caller.Trace() {
+				linked = true
+			}
+		}
+	}
+	if !linked {
+		t.Fatal("parsed exposition lost the trace-ID exemplar")
+	}
+	// And the aggregator federated that histogram without choking on it.
+	found := false
+	for _, s := range agg.Federated() {
+		if s.Name == "http_request_seconds" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("aggregator did not federate the exemplar-bearing histogram")
+	}
+}
