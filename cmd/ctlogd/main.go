@@ -4,9 +4,12 @@
 //
 // Usage:
 //
-//	ctlogd [-addr :8784] [-name mylog] [-shard-start 2022-01-01 -shard-end 2023-01-01] [-seed-entries N]
-//	       [-debug-addr 127.0.0.1:0] [-log-format text|json] [-chaos-seed 0]
+//	ctlogd [-addr :8784] [-name mylog] [-shard-start 2022-01-01 -shard-end 2023-01-01]
+//	       [-seed-entries N] [-seed-domains 1] [-debug-addr 127.0.0.1:0]
+//	       [-log-format text|json] [-chaos-seed 0]
 //	       [-trace-buffer 256] [-trace-sample 0.1] [-trace-slow 250ms]
+//	       [-slo availability:99.9,latency:99:250ms] [-profile-dir DIR]
+//	       [-latency-buckets 1ms,5ms,...]
 //
 // A non-zero -chaos-seed wraps the listener in resil.NewChaosListener, which
 // drops a deterministic fraction of accepted connections — server-side fault
@@ -41,6 +44,7 @@ func main() {
 	shardStart := flag.String("shard-start", "", "shard start date (YYYY-MM-DD); empty = unsharded")
 	shardEnd := flag.String("shard-end", "", "shard end date (YYYY-MM-DD, exclusive)")
 	seedEntries := flag.Int("seed-entries", 0, "pre-populate with N synthetic certificates")
+	seedDomains := flag.Int("seed-domains", 1, "spread seeded certificates across N distinct e2LDs (1 = all under example.com)")
 	now := flag.String("now", "2023-01-01", "simulated current day for SCT timestamps")
 	obsFlags := obs.BindFlags(flag.CommandLine)
 	var rf resil.Flags
@@ -76,9 +80,16 @@ func main() {
 	srv.SetNow(nowDay)
 
 	for i := 0; i < *seedEntries; i++ {
+		// One e2LD by default (the historical seed%06d.example.com shape);
+		// -seed-domains > 1 spreads SANs across distinct registrable domains
+		// so Zipf-distributed load (cmd/staleload) has a population to skew.
+		name := fmt.Sprintf("seed%06d.example.com", i)
+		if *seedDomains > 1 {
+			name = fmt.Sprintf("seed%06d.example-%03d.com", i, i%*seedDomains)
+		}
 		cert, err := x509sim.New(
 			x509sim.SerialNumber(i+1), 1, x509sim.KeyID(i+1),
-			[]string{fmt.Sprintf("seed%06d.example.com", i)},
+			[]string{name},
 			nowDay-30, nowDay+60,
 		)
 		if err != nil {

@@ -9,7 +9,8 @@
 //	dnsscand -scan -server 127.0.0.1:5353 -domains example.com,foo.com
 //
 // Both modes accept the shared observability flags (-debug-addr, -log-format,
-// -log-level, -trace-buffer, -trace-sample, -trace-slow).
+// -log-level, -trace-buffer, -trace-sample, -trace-slow, -slo, -slo-interval,
+// -profile-dir, -latency-buckets).
 package main
 
 import (

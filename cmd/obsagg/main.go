@@ -4,16 +4,20 @@
 // per-daemon trace fragments into fleet-wide span trees, and serves the
 // combined view — one Prometheus scrape target and one trace query surface
 // for the whole deployment — plus a plain-text fleet summary. Scrape
-// failures, jobs whose server error rate crosses a threshold, and stitched
-// traces slower than -fleet-trace-slow raise structured log alerts.
+// failures, jobs whose server error rate crosses a threshold, stitched
+// traces slower than -fleet-trace-slow, and federated SLO burn-rate alerts
+// (slo_alert_firing on any target) raise structured log alerts; -alert-rearm
+// re-fires a still-active alert after a quiet period instead of once ever.
 //
 // Usage:
 //
 //	obsagg -targets ctlogd=http://127.0.0.1:9090,crld=http://127.0.0.1:9091 \
 //	       [-addr 127.0.0.1:8790] [-scrape-interval 10s] [-error-rate-threshold 0.1]
-//	       [-fleet-trace-slow 1s] [-fleet-trace-buffer 512]
+//	       [-fleet-trace-slow 1s] [-fleet-trace-buffer 512] [-alert-rearm 5m]
 //	       [-debug-addr 127.0.0.1:0] [-log-format text|json]
 //	       [-trace-buffer 256] [-trace-sample 0.1] [-trace-slow 250ms]
+//	       [-slo availability:99.9,latency:99:250ms] [-profile-dir DIR]
+//	       [-latency-buckets 1ms,5ms,...]
 //	       [-retry-max 4] [-breaker-threshold 0.5] [-chaos-seed 0]
 //
 // Scrapes run through the resilience layer (retries + per-peer circuit
@@ -27,6 +31,7 @@
 //	/fleet              plain-text per-target summary (up/down, series counts, failures)
 //	/fleet/traces       stitched cross-daemon trace summaries (?route=, ?min_ms=, ?error=1, ?spans=1)
 //	/fleet/traces/{id}  one stitched trace as a span tree
+//	/fleet/slo          per-job SLO burn rates, budget remaining and firing severities
 //	/healthz            liveness
 //	/readyz             ready once the first scrape round completes
 package main
@@ -52,6 +57,8 @@ func main() {
 	threshold := flag.Float64("error-rate-threshold", 0.1, "per-job 5xx/total fraction that raises an alert (0 disables)")
 	fleetSlow := flag.Duration("fleet-trace-slow", time.Second, "stitched-trace duration that raises a slow-trace alert (0 disables)")
 	fleetBuffer := flag.Int("fleet-trace-buffer", 512, "stitched traces retained in the fleet view")
+	alertRearm := flag.Duration("alert-rearm", 5*time.Minute,
+		"quiet period after which a still-active slow-trace or SLO burn alert re-fires (0 = once ever)")
 	obsFlags := obs.BindFlags(flag.CommandLine)
 	var rf resil.Flags
 	rf.BindFlags(flag.CommandLine)
@@ -75,6 +82,7 @@ func main() {
 		ErrorRateThreshold: *threshold,
 		TraceSlow:          *fleetSlow,
 		TraceBuffer:        *fleetBuffer,
+		AlertRearm:         *alertRearm,
 		SelfJob:            "obsagg",
 		Client:             resil.NewHTTPClient(rf.Options("obsagg")),
 	}
@@ -98,7 +106,7 @@ func main() {
 
 	logger.Info("serving federated metrics", "targets", len(parsed), "addr", *addr,
 		"interval", interval.String(),
-		"endpoints", "/metrics /fleet /fleet/traces /fleet/traces/{id} /healthz /readyz")
+		"endpoints", "/metrics /fleet /fleet/traces /fleet/traces/{id} /fleet/slo /healthz /readyz")
 
 	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)

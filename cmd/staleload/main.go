@@ -1,0 +1,417 @@
+// Command staleload drives reproducible load against staleapid (and
+// optionally ctlogd) and writes one BENCH_<scenario>_<git-sha>.json
+// trajectory point: achieved QPS, p50/p90/p99/p99.9 latency, error rate and
+// bytes, overall and per endpoint.
+//
+// The workload is deterministic: request targets are drawn from a seeded
+// Zipf distribution over the populations discovered by scraping the CT log
+// (certificate fingerprints and registrable domains), and the op mix is
+// drawn from the same seeded stream, so two runs with the same seed against
+// the same corpus issue the same request sequence. In the default open-loop
+// mode requests are issued on a fixed schedule at -qps and each latency is
+// measured from the request's *scheduled* start, so a stalled server
+// inflates the recorded tail instead of silently pausing the generator
+// (coordinated-omission resistance); -mode closed instead runs -workers
+// request loops back-to-back.
+//
+// Usage:
+//
+//	staleload -target http://127.0.0.1:8786 [-ct http://127.0.0.1:8784]
+//	          [-scenario steady] [-qps 200] [-duration 10s] [-workers 16]
+//	          [-mode open|closed] [-mix staleness:40,cert:50,getentries:10]
+//	          [-zipf-s 1.1] [-seed 1] [-warmup 0.1] [-timeout 5s]
+//	          [-out .] [-sha auto] [-max-error-rate 0]
+//
+// Ops: "staleness" GETs /v1/domain/{e2ld}/staleness and "cert" GETs
+// /v1/cert/{fp} on -target; "getentries" GETs a window of /ct/v1/get-entries
+// and "addchain" POSTs a fresh synthetic certificate to /ct/v1/add-chain on
+// -ct. The process exits non-zero when the total error rate exceeds
+// -max-error-rate, so CI can gate on a clean run.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"stalecert/internal/loadgen"
+	"stalecert/internal/obs"
+	"stalecert/internal/psl"
+	"stalecert/internal/simtime"
+	"stalecert/internal/x509sim"
+)
+
+func main() {
+	target := flag.String("target", "http://127.0.0.1:8786", "staleapid base URL")
+	ctURL := flag.String("ct", "", "ctlogd base URL (required for discovery and the getentries/addchain ops)")
+	scenario := flag.String("scenario", "steady", "scenario name recorded in the BENCH file")
+	qps := flag.Float64("qps", 200, "open-loop target request rate")
+	duration := flag.Duration("duration", 10*time.Second, "measured run length")
+	workers := flag.Int("workers", 16, "concurrent request slots")
+	mode := flag.String("mode", "open", "load discipline: open (scheduled, CO-resistant) or closed (back-to-back)")
+	mix := flag.String("mix", "staleness:40,cert:50,getentries:10", "weighted op mix: name:weight,...")
+	zipfS := flag.Float64("zipf-s", 1.1, "Zipf skew for target selection (higher = hotter head)")
+	seed := flag.Uint64("seed", 1, "PRNG seed for the op mix and Zipf draws")
+	warmup := flag.Float64("warmup", 0.1, "leading fraction of the run discarded from stats")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request timeout")
+	outDir := flag.String("out", ".", "directory for the BENCH_*.json report")
+	sha := flag.String("sha", "", "git SHA recorded in the report (empty: git rev-parse --short HEAD)")
+	maxErrorRate := flag.Float64("max-error-rate", 0, "exit non-zero when the total error rate exceeds this")
+	obsFlags := obs.BindFlags(flag.CommandLine)
+	flag.Parse()
+
+	logger, stopDebug := obsFlags.Setup("staleload")
+	defer func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		_ = stopDebug(sctx)
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	weights, err := parseMix(*mix)
+	if err != nil {
+		logger.Error("bad -mix", "err", err)
+		os.Exit(2)
+	}
+	if *ctURL == "" {
+		logger.Error("missing required -ct URL (target discovery scrapes the CT log)")
+		os.Exit(2)
+	}
+
+	hc := &http.Client{Timeout: *timeout}
+	corpus, err := discover(ctx, hc, *ctURL)
+	if err != nil {
+		logger.Error("corpus discovery failed", "ct", *ctURL, "err", err)
+		os.Exit(1)
+	}
+	logger.Info("corpus discovered", "entries", corpus.size,
+		"fingerprints", len(corpus.fingerprints), "domains", len(corpus.domains))
+
+	ops, err := buildOps(weights, corpus, hc, *target, *ctURL, *seed, *zipfS)
+	if err != nil {
+		logger.Error("bad workload", "err", err)
+		os.Exit(2)
+	}
+
+	logger.Info("starting load", "scenario", *scenario, "mode", *mode, "qps", *qps,
+		"duration", *duration, "workers", *workers, "mix", *mix, "seed", *seed)
+	res, err := loadgen.Run(ctx, loadgen.Config{
+		Ops:        ops,
+		Mode:       loadgen.Mode(*mode),
+		QPS:        *qps,
+		Duration:   *duration,
+		Workers:    *workers,
+		Seed:       *seed,
+		WarmupFrac: *warmup,
+	})
+	if err != nil {
+		logger.Error("load run failed", "err", err)
+		os.Exit(1)
+	}
+
+	gitSHA := *sha
+	if gitSHA == "" {
+		gitSHA = headSHA()
+	}
+	rep := loadgen.BuildReport(res, *scenario, gitSHA, *mix, *zipfS, corpus.size)
+	path, err := rep.WriteReport(*outDir)
+	if err != nil {
+		logger.Error("write bench report", "err", err)
+		os.Exit(1)
+	}
+
+	logger.Info("bench complete", "report", path,
+		"requests", res.Total.Count, "errors", res.Total.Errors,
+		"achieved_qps", fmt.Sprintf("%.1f", res.AchievedQPS),
+		"p50_ms", rep.Totals.Latency.P50Ms, "p99_ms", rep.Totals.Latency.P99Ms,
+		"dropped", res.Dropped)
+	for _, name := range sortedOpNames(rep) {
+		ep := rep.Endpoints[name]
+		logger.Info("endpoint", "op", name, "requests", ep.Requests,
+			"errors", ep.Errors, "qps", fmt.Sprintf("%.1f", ep.QPS),
+			"p50_ms", ep.Latency.P50Ms, "p99_ms", ep.Latency.P99Ms)
+	}
+
+	if rate := res.ErrorRate(); rate > *maxErrorRate {
+		logger.Error("error rate above threshold", "rate", rate, "max", *maxErrorRate)
+		os.Exit(1)
+	}
+	if res.Total.Count == 0 {
+		logger.Error("no requests completed")
+		os.Exit(1)
+	}
+}
+
+// corpus holds the request-target populations discovered from the CT log.
+type corpus struct {
+	fingerprints []string // full hex fingerprints for /v1/cert/{fp}
+	domains      []string // registrable domains for /v1/domain/{e2ld}/staleness
+	size         int      // log entry count at discovery time
+}
+
+// discover pages the CT log's entries and derives the fingerprint and
+// registrable-domain populations the Zipf pickers draw from. Raw HTTP (not
+// ctlog.Client) keeps the generator dependency-light and retry-free.
+func discover(ctx context.Context, hc *http.Client, ctURL string) (*corpus, error) {
+	var sth struct {
+		TreeSize uint64 `json:"tree_size"`
+	}
+	if err := getJSON(ctx, hc, ctURL+"/ct/v1/get-sth", &sth); err != nil {
+		return nil, fmt.Errorf("get-sth: %w", err)
+	}
+	if sth.TreeSize == 0 {
+		return nil, fmt.Errorf("log is empty; seed ctlogd first (-seed-entries)")
+	}
+	c := &corpus{size: int(sth.TreeSize)}
+	domains := make(map[string]bool)
+	list := psl.Default()
+	for start := uint64(0); start < sth.TreeSize; {
+		var page struct {
+			Entries []struct {
+				LeafInput string `json:"leaf_input"`
+			} `json:"entries"`
+		}
+		u := fmt.Sprintf("%s/ct/v1/get-entries?start=%d&end=%d", ctURL, start, sth.TreeSize-1)
+		if err := getJSON(ctx, hc, u, &page); err != nil {
+			return nil, fmt.Errorf("get-entries at %d: %w", start, err)
+		}
+		if len(page.Entries) == 0 {
+			return nil, fmt.Errorf("get-entries at %d returned no entries", start)
+		}
+		for _, ej := range page.Entries {
+			raw, err := base64.StdEncoding.DecodeString(ej.LeafInput)
+			if err != nil {
+				return nil, fmt.Errorf("entry %d: %w", start, err)
+			}
+			// LeafData is a 4-byte timestamp header followed by the marshaled
+			// certificate.
+			if len(raw) < 5 {
+				return nil, fmt.Errorf("entry %d: short leaf", start)
+			}
+			cert, err := x509sim.Unmarshal(raw[4:])
+			if err != nil {
+				return nil, fmt.Errorf("entry %d: %w", start, err)
+			}
+			c.fingerprints = append(c.fingerprints, cert.Fingerprint().Hex())
+			for _, name := range cert.Names {
+				if e2ld, err := list.ETLDPlusOne(name); err == nil {
+					domains[e2ld] = true
+				}
+			}
+			start++
+		}
+	}
+	for d := range domains {
+		c.domains = append(c.domains, d)
+	}
+	sort.Strings(c.domains) // deterministic Zipf rank order across runs
+	return c, nil
+}
+
+// zipfPicker wraps a seeded Zipf source for concurrent workers.
+type zipfPicker struct {
+	mu sync.Mutex
+	z  *loadgen.Zipf
+}
+
+func newZipfPicker(seed uint64, n int, s float64) (*zipfPicker, error) {
+	z, err := loadgen.NewZipf(seed, n, s)
+	if err != nil {
+		return nil, err
+	}
+	return &zipfPicker{z: z}, nil
+}
+
+func (p *zipfPicker) next() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.z.Next()
+}
+
+// buildOps assembles the weighted op set from the mix spec.
+func buildOps(weights map[string]float64, c *corpus, hc *http.Client, target, ctURL string, seed uint64, zipfS float64) ([]loadgen.Op, error) {
+	var ops []loadgen.Op
+	// Distinct sub-seeds per population keep the draws independent while
+	// still fully determined by -seed.
+	fpPick, err := newZipfPicker(seed^0xfeedface, len(c.fingerprints), zipfS)
+	if err != nil {
+		return nil, err
+	}
+	domPick, err := newZipfPicker(seed^0xdecafbad, len(c.domains), zipfS)
+	if err != nil {
+		return nil, err
+	}
+	winPick, err := newZipfPicker(seed^0xcafebabe, c.size, zipfS)
+	if err != nil {
+		return nil, err
+	}
+	var addSerial atomic.Uint64
+	addSerial.Store(uint64(c.size) + 1_000_000) // clear of seeded serials
+
+	for name, weight := range weights {
+		switch name {
+		case "staleness":
+			if len(c.domains) == 0 {
+				return nil, fmt.Errorf("staleness op needs discovered domains")
+			}
+			ops = append(ops, loadgen.Op{Name: name, Weight: weight,
+				Do: func(ctx context.Context) (int64, error) {
+					d := c.domains[domPick.next()]
+					return drainGet(ctx, hc, target+"/v1/domain/"+d+"/staleness")
+				}})
+		case "cert":
+			if len(c.fingerprints) == 0 {
+				return nil, fmt.Errorf("cert op needs discovered fingerprints")
+			}
+			ops = append(ops, loadgen.Op{Name: name, Weight: weight,
+				Do: func(ctx context.Context) (int64, error) {
+					fp := c.fingerprints[fpPick.next()]
+					return drainGet(ctx, hc, target+"/v1/cert/"+fp)
+				}})
+		case "getentries":
+			ops = append(ops, loadgen.Op{Name: name, Weight: weight,
+				Do: func(ctx context.Context) (int64, error) {
+					start := winPick.next()
+					end := start + 31
+					if end >= c.size {
+						end = c.size - 1
+					}
+					u := fmt.Sprintf("%s/ct/v1/get-entries?start=%d&end=%d", ctURL, start, end)
+					return drainGet(ctx, hc, u)
+				}})
+		case "addchain":
+			ops = append(ops, loadgen.Op{Name: name, Weight: weight,
+				Do: func(ctx context.Context) (int64, error) {
+					serial := addSerial.Add(1)
+					nowDay, _ := simtime.Parse("2023-01-01")
+					cert, err := x509sim.New(
+						x509sim.SerialNumber(serial), 1, x509sim.KeyID(serial),
+						[]string{fmt.Sprintf("load%08d.example.org", serial)},
+						nowDay-1, nowDay+90,
+					)
+					if err != nil {
+						return 0, err
+					}
+					body, _ := json.Marshal(map[string][]string{
+						"chain": {base64.StdEncoding.EncodeToString(cert.Marshal())},
+					})
+					return drainPost(ctx, hc, ctURL+"/ct/v1/add-chain", body)
+				}})
+		default:
+			return nil, fmt.Errorf("unknown op %q (want staleness, cert, getentries or addchain)", name)
+		}
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Name < ops[j].Name })
+	return ops, nil
+}
+
+// parseMix parses "name:weight,name:weight" into a weight map.
+func parseMix(spec string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, w, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad mix entry %q (want name:weight)", part)
+		}
+		weight, err := strconv.ParseFloat(w, 64)
+		if err != nil || weight < 0 {
+			return nil, fmt.Errorf("bad mix weight %q", w)
+		}
+		if weight > 0 {
+			out[strings.TrimSpace(name)] = weight
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty mix %q", spec)
+	}
+	return out, nil
+}
+
+// drainGet GETs the URL, drains the body (counting bytes) and errors on
+// non-2xx — a 404 or 500 is a failed request, not a short success.
+func drainGet(ctx context.Context, hc *http.Client, url string) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	return drainDo(hc, req)
+}
+
+func drainPost(ctx context.Context, hc *http.Client, url string, body []byte) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return drainDo(hc, req)
+}
+
+func drainDo(hc *http.Client, req *http.Request) (int64, error) {
+	resp, err := hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	n, _ := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return n, fmt.Errorf("%s %s: status %d", req.Method, req.URL.Path, resp.StatusCode)
+	}
+	return n, nil
+}
+
+func getJSON(ctx context.Context, hc *http.Client, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// headSHA resolves the working tree's short commit SHA; "dev" when git is
+// unavailable (the BENCH file then needs an explicit -sha to be a
+// trajectory point).
+func headSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "dev"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func sortedOpNames(rep *loadgen.BenchReport) []string {
+	names := make([]string, 0, len(rep.Endpoints))
+	for name := range rep.Endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,180 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"time"
+)
+
+// BenchSchemaVersion identifies the BENCH_*.json layout; bump it on any
+// incompatible change so trajectory tooling can refuse to mix shapes.
+const BenchSchemaVersion = 1
+
+// LatencySummary is the quantile digest recorded per endpoint, in
+// milliseconds (floats survive JSON without unit ambiguity at this scale).
+type LatencySummary struct {
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	MeanMs float64 `json:"mean_ms"`
+}
+
+// EndpointReport is one operation's slice of a bench run.
+type EndpointReport struct {
+	Requests  uint64         `json:"requests"`
+	Errors    uint64         `json:"errors"`
+	ErrorRate float64        `json:"error_rate"`
+	Bytes     int64          `json:"bytes"`
+	QPS       float64        `json:"qps"`
+	Latency   LatencySummary `json:"latency"`
+}
+
+// BenchConfig records the knobs that produced a run — two BENCH files are
+// comparable only when their configs match.
+type BenchConfig struct {
+	Mode      string  `json:"mode"`
+	TargetQPS float64 `json:"target_qps"`
+	Workers   int     `json:"workers"`
+	DurationS float64 `json:"duration_s"`
+	Seed      uint64  `json:"seed"`
+	ZipfS     float64 `json:"zipf_s"`
+	ZipfN     int     `json:"zipf_n"`
+	Mix       string  `json:"mix"`
+}
+
+// BenchReport is the BENCH_<scenario>_<git-sha>.json document: one point on
+// the repo's performance trajectory.
+type BenchReport struct {
+	SchemaVersion int                       `json:"schema_version"`
+	Scenario      string                    `json:"scenario"`
+	GitSHA        string                    `json:"git_sha"`
+	Timestamp     time.Time                 `json:"timestamp"`
+	Config        BenchConfig               `json:"config"`
+	Totals        EndpointReport            `json:"totals"`
+	Endpoints     map[string]EndpointReport `json:"endpoints"`
+	// Dropped counts open-loop tickets never dispatched (generator
+	// overload); a comparable run has 0.
+	Dropped uint64 `json:"dropped"`
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+func summarize(st *OpStats, elapsed time.Duration) EndpointReport {
+	rep := EndpointReport{
+		Requests: st.Count,
+		Errors:   st.Errors,
+		Bytes:    st.Bytes,
+		Latency: LatencySummary{
+			P50Ms:  ms(st.Latency.Quantile(0.50)),
+			P90Ms:  ms(st.Latency.Quantile(0.90)),
+			P99Ms:  ms(st.Latency.Quantile(0.99)),
+			P999Ms: ms(st.Latency.Quantile(0.999)),
+			MaxMs:  ms(st.Latency.Max()),
+			MeanMs: ms(st.Latency.Mean()),
+		},
+	}
+	if st.Count > 0 {
+		rep.ErrorRate = float64(st.Errors) / float64(st.Count)
+	}
+	if elapsed > 0 {
+		rep.QPS = float64(st.Count) / elapsed.Seconds()
+	}
+	return rep
+}
+
+// BuildReport digests a finished run into the BENCH document.
+func BuildReport(res *Result, scenario, gitSHA, mix string, zipfS float64, zipfN int) *BenchReport {
+	rep := &BenchReport{
+		SchemaVersion: BenchSchemaVersion,
+		Scenario:      scenario,
+		GitSHA:        gitSHA,
+		Timestamp:     res.Began.UTC(),
+		Config: BenchConfig{
+			Mode:      string(res.Config.Mode),
+			TargetQPS: res.Config.QPS,
+			Workers:   res.Config.Workers,
+			DurationS: res.Config.Duration.Seconds(),
+			Seed:      res.Config.Seed,
+			ZipfS:     zipfS,
+			ZipfN:     zipfN,
+			Mix:       mix,
+		},
+		Totals:    summarize(res.Total, res.Elapsed),
+		Endpoints: make(map[string]EndpointReport, len(res.PerOp)),
+		Dropped:   res.Dropped,
+	}
+	for name, st := range res.PerOp {
+		rep.Endpoints[name] = summarize(st, res.Elapsed)
+	}
+	return rep
+}
+
+var benchNameSafe = regexp.MustCompile(`[^a-zA-Z0-9.-]+`)
+
+// BenchFileName renders the canonical trajectory file name for a scenario
+// and git SHA: BENCH_<scenario>_<sha>.json.
+func BenchFileName(scenario, gitSHA string) string {
+	clean := func(s, fallback string) string {
+		s = benchNameSafe.ReplaceAllString(s, "-")
+		if s == "" {
+			return fallback
+		}
+		return s
+	}
+	return fmt.Sprintf("BENCH_%s_%s.json", clean(scenario, "run"), clean(gitSHA, "dev"))
+}
+
+// WriteReport writes the report to dir under its canonical name and returns
+// the path.
+func (r *BenchReport) WriteReport(dir string) (string, error) {
+	if err := r.Validate(); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, BenchFileName(r.Scenario, r.GitSHA))
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("loadgen: marshal bench report: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("loadgen: write bench report: %w", err)
+	}
+	return path, nil
+}
+
+// Validate checks the report is a well-formed trajectory point.
+func (r *BenchReport) Validate() error {
+	switch {
+	case r.SchemaVersion != BenchSchemaVersion:
+		return fmt.Errorf("loadgen: bench schema version %d (want %d)", r.SchemaVersion, BenchSchemaVersion)
+	case r.Scenario == "":
+		return fmt.Errorf("loadgen: bench report without scenario")
+	case r.GitSHA == "":
+		return fmt.Errorf("loadgen: bench report without git SHA")
+	case r.Timestamp.IsZero():
+		return fmt.Errorf("loadgen: bench report without timestamp")
+	case len(r.Endpoints) == 0:
+		return fmt.Errorf("loadgen: bench report without endpoints")
+	}
+	return nil
+}
+
+// ReadReport loads and validates a BENCH_*.json file.
+func ReadReport(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("loadgen: parse %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("loadgen: %s: %w", path, err)
+	}
+	return &r, nil
+}

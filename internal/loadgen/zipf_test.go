@@ -1,0 +1,91 @@
+package loadgen
+
+import "testing"
+
+func TestZipfDeterministic(t *testing.T) {
+	a, err := NewZipf(42, 1000, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewZipf(42, 1000, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		av, bv := a.Next(), b.Next()
+		if av != bv {
+			t.Fatalf("draw %d diverged: %d vs %d", i, av, bv)
+		}
+		if av < 0 || av >= 1000 {
+			t.Fatalf("draw %d out of range: %d", i, av)
+		}
+	}
+}
+
+func TestZipfDifferentSeedsDiverge(t *testing.T) {
+	a, _ := NewZipf(1, 1000, 1.1)
+	b, _ := NewZipf(2, 1000, 1.1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+// TestZipfDistribution checks the generator actually skews: with s=1.0 over
+// 100 ranks, rank 0's share must approximate 1/H(100) ≈ 0.193 and dominate
+// rank 50 by more than an order of magnitude.
+func TestZipfDistribution(t *testing.T) {
+	z, err := NewZipf(7, 100, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 200000
+	counts := make([]int, 100)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	share0 := float64(counts[0]) / draws
+	if share0 < 0.17 || share0 > 0.22 {
+		t.Errorf("rank 0 share %.3f, want ≈ 0.193", share0)
+	}
+	if counts[0] < 10*counts[50] {
+		t.Errorf("rank 0 (%d) should dominate rank 50 (%d) by >10x", counts[0], counts[50])
+	}
+	for r, c := range counts {
+		if c == 0 && r < 50 {
+			t.Errorf("rank %d never drawn in %d draws", r, draws)
+		}
+	}
+}
+
+// TestZipfSubOneExponent covers the s <= 1 range math/rand's Zipf rejects.
+func TestZipfSubOneExponent(t *testing.T) {
+	z, err := NewZipf(3, 50, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 50)
+	for i := 0; i < 50000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[49] {
+		t.Errorf("rank 0 (%d) should still beat rank 49 (%d) at s=0.8", counts[0], counts[49])
+	}
+}
+
+func TestZipfRejectsBadParams(t *testing.T) {
+	if _, err := NewZipf(1, 0, 1.1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewZipf(1, 10, 0); err == nil {
+		t.Error("s=0 accepted")
+	}
+	if _, err := NewZipf(1, 10, -1); err == nil {
+		t.Error("s<0 accepted")
+	}
+}

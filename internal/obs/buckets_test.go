@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestParseLatencyBuckets(t *testing.T) {
+	got, err := ParseLatencyBuckets("250us, 1ms,5ms,0.25,1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.00025, 0.001, 0.005, 0.25, 1}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if !approx(got[i], want[i]) {
+			t.Errorf("bucket[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", ",,", "abc", "1ms,xyz"} {
+		if _, err := ParseLatencyBuckets(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestSetDurationBuckets(t *testing.T) {
+	orig := DurationBuckets
+	defer func() { DurationBuckets = orig }()
+
+	if err := SetDurationBuckets([]float64{0.001, 0.25, 1}); err != nil {
+		t.Fatal(err)
+	}
+	// New histograms pick up the override; the 0.25 bound means a 250ms SLO
+	// threshold counts good events exactly instead of interpolating.
+	reg := NewRegistry()
+	h := reg.Histogram("http_request_seconds", nil, "service", "svc", "route", "/x")
+	h.Observe(0.1)
+	h.Observe(0.9)
+	for _, s := range reg.Snapshot() {
+		if s.Name != "http_request_seconds" {
+			continue
+		}
+		if len(s.Buckets) != 4 { // 3 finite + +Inf
+			t.Fatalf("buckets = %v", s.Buckets)
+		}
+		if s.Buckets[1].UpperBound != 0.25 || s.Buckets[1].Count != 1 {
+			t.Errorf("0.25 bucket = %+v", s.Buckets[1])
+		}
+		if got := goodUnderThreshold(s, 0.25); got != 1 {
+			t.Errorf("good under aligned threshold = %v, want exactly 1", got)
+		}
+	}
+
+	for _, bad := range [][]float64{nil, {}, {-1}, {0}, {1, 1}, {2, 1}} {
+		if err := SetDurationBuckets(bad); err == nil {
+			t.Errorf("%v accepted", bad)
+		}
+	}
+}

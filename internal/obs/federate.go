@@ -429,6 +429,12 @@ type Aggregator struct {
 	// TraceBuffer bounds stitched traces retained in the fleet view
 	// (<= 0 uses DefaultFleetTraceBuffer).
 	TraceBuffer int
+	// AlertRearm is the quiet period after which per-trace slow alerts and
+	// per-job SLO burn alerts may fire again (0: fire once and stay
+	// silenced).
+	AlertRearm time.Duration
+	// Now overrides the clock for alert re-arm decisions (tests).
+	Now func() time.Time
 
 	mu         sync.RWMutex
 	byJob      map[string][]Sample // target key -> relabelled samples
@@ -436,6 +442,14 @@ type Aggregator struct {
 	rounds     uint64
 	traces     map[string]*fleetTrace // trace ID -> stitched fleet trace
 	traceOrder []string
+	sloAlerts  map[string]time.Time // job/slo/severity -> last alert time
+}
+
+func (a *Aggregator) now() time.Time {
+	if a.Now != nil {
+		return a.Now()
+	}
+	return time.Now()
 }
 
 func (a *Aggregator) reg() *Registry {
@@ -493,6 +507,7 @@ func (a *Aggregator) ScrapeOnce(ctx context.Context) {
 	a.mu.Unlock()
 	a.reg().Histogram("obsagg_round_seconds", nil).Observe(time.Since(began).Seconds())
 	a.alertErrorRates()
+	a.alertSLOBurn()
 }
 
 func (a *Aggregator) scrapeTarget(ctx context.Context, hc *http.Client, t Target) ([]Sample, error) {
@@ -670,6 +685,8 @@ const StaleEvidenceHeader = "X-Stale-Evidence"
 //	/fleet/traces       stitched cross-daemon trace summaries (same filters
 //	                    as the per-daemon /v1/traces)
 //	/fleet/traces/{id}  one stitched trace as a full span tree
+//	/fleet/slo          per-job SLO burn rates, budget remaining and firing
+//	                    alerts digested from the federated slo_* series
 //
 // While any target is down, /metrics responses carry an X-Stale-Evidence
 // header naming the targets whose series are served from the last good round.
@@ -688,6 +705,7 @@ func (a *Aggregator) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /fleet/traces", a.handleFleetTraces)
 	mux.HandleFunc("GET /fleet/traces/{id}", a.handleFleetTrace)
+	mux.HandleFunc("GET /fleet/slo", a.handleFleetSLO)
 	return mux
 }
 

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file implements the fleet SLO view: every daemon's SLOEngine exports
+// slo_burn_rate / slo_error_budget_remaining / slo_alert_firing gauges, the
+// aggregator's normal metrics federation carries them under job/instance
+// labels, and this file digests the federated series into a per-job SLO
+// summary served at /fleet/slo — plus fleet-level burn-rate alerts (with
+// the same re-arm policy as slow-trace alerts) so one obsagg log stream
+// watches every daemon's error budget.
+
+// FleetSLO is one (job, slo) row of the fleet SLO view.
+type FleetSLO struct {
+	Job             string             `json:"job"`
+	Instance        string             `json:"instance"`
+	SLO             string             `json:"slo"`
+	BurnRates       map[string]float64 `json:"burn_rates"` // window -> burn multiple
+	BudgetRemaining float64            `json:"budget_remaining"`
+	Firing          []string           `json:"firing,omitempty"` // severities with alert_firing == 1
+}
+
+// FleetSLOs digests the federated slo_* series into sorted per-job rows.
+func (a *Aggregator) FleetSLOs() []FleetSLO {
+	type key struct{ job, instance, slo string }
+	rows := make(map[key]*FleetSLO)
+	row := func(s Sample) *FleetSLO {
+		k := key{LabelValue(s, "job"), LabelValue(s, "instance"), LabelValue(s, "slo")}
+		if k.slo == "" {
+			return nil
+		}
+		r := rows[k]
+		if r == nil {
+			r = &FleetSLO{Job: k.job, Instance: k.instance, SLO: k.slo,
+				BurnRates: make(map[string]float64), BudgetRemaining: 1}
+			rows[k] = r
+		}
+		return r
+	}
+	for _, s := range a.Federated() {
+		switch s.Name {
+		case "slo_burn_rate":
+			if r := row(s); r != nil {
+				r.BurnRates[LabelValue(s, "window")] = s.Value
+			}
+		case "slo_error_budget_remaining":
+			if r := row(s); r != nil {
+				r.BudgetRemaining = s.Value
+			}
+		case "slo_alert_firing":
+			if r := row(s); r != nil && s.Value >= 1 {
+				r.Firing = append(r.Firing, LabelValue(s, "severity"))
+			}
+		}
+	}
+	out := make([]FleetSLO, 0, len(rows))
+	for _, r := range rows {
+		sort.Strings(r.Firing)
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Job != out[j].Job {
+			return out[i].Job < out[j].Job
+		}
+		if out[i].Instance != out[j].Instance {
+			return out[i].Instance < out[j].Instance
+		}
+		return out[i].SLO < out[j].SLO
+	})
+	return out
+}
+
+// alertSLOBurn raises a fleet-level alert for every federated (job, slo,
+// severity) whose slo_alert_firing gauge is up, re-arming after AlertRearm
+// (0: once per firing key until obsagg restarts). Called after each scrape
+// round.
+func (a *Aggregator) alertSLOBurn() {
+	for _, row := range a.FleetSLOs() {
+		for _, severity := range row.Firing {
+			k := row.Job + "/" + row.SLO + "/" + severity
+			a.mu.Lock()
+			if a.sloAlerts == nil {
+				a.sloAlerts = make(map[string]time.Time)
+			}
+			last, seen := a.sloAlerts[k]
+			fire := !seen || (a.AlertRearm > 0 && a.now().Sub(last) >= a.AlertRearm)
+			if fire {
+				a.sloAlerts[k] = a.now()
+			}
+			a.mu.Unlock()
+			if fire {
+				a.logger().Warn("fleet slo burn-rate alert", "job", row.Job,
+					"instance", row.Instance, "slo", row.SLO, "severity", severity,
+					"burn_rates", burnSummary(row.BurnRates),
+					"budget_remaining", row.BudgetRemaining)
+				a.reg().Counter("obsagg_slo_alerts_total", "job", row.Job, "severity", severity).Inc()
+			}
+		}
+	}
+}
+
+func burnSummary(burns map[string]float64) string {
+	keys := make([]string, 0, len(burns))
+	for k := range burns {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+formatFloat(burns[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+func (a *Aggregator) handleFleetSLO(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	rows := a.FleetSLOs()
+	if rows == nil {
+		rows = []FleetSLO{}
+	}
+	_ = json.NewEncoder(w).Encode(rows)
+}

@@ -27,7 +27,11 @@ const DefaultFleetTraceBuffer = 512
 type fleetTrace struct {
 	rec     TraceRecord
 	spanIDs map[string]struct{}
-	alerted bool
+	// lastAlert is when the slow-trace alert last fired for this trace;
+	// zero means never. The alert re-arms after the aggregator's AlertRearm
+	// quiet period, so a trace that keeps growing across scrape rounds
+	// keeps alerting instead of firing exactly once forever.
+	lastAlert time.Time
 }
 
 // scrapeTraces fetches one target's kept traces; targets running without
@@ -115,8 +119,8 @@ func (a *Aggregator) mergeTraces(traces []TraceRecord) {
 			ft.rec.Spans = append(ft.rec.Spans, sp)
 			ft.rec.Services = mergeService(ft.rec.Services, sp.Service)
 		}
-		if a.TraceSlow > 0 && ft.rec.Duration >= a.TraceSlow && !ft.alerted {
-			ft.alerted = true
+		if a.TraceSlow > 0 && ft.rec.Duration >= a.TraceSlow && a.shouldAlert(ft) {
+			ft.lastAlert = a.now()
 			alerts = append(alerts, alert{rec: copyTrace(&ft.rec, false)})
 		}
 	}
@@ -128,6 +132,17 @@ func (a *Aggregator) mergeTraces(traces []TraceRecord) {
 			"threshold_ms", float64(a.TraceSlow.Microseconds())/1000)
 		a.reg().Counter("obsagg_slow_traces_total").Inc()
 	}
+}
+
+// shouldAlert applies the re-arm policy: a never-alerted trace always
+// fires; an already-alerted one fires again only when AlertRearm > 0 and
+// the quiet period has passed since the last alert (AlertRearm == 0 keeps
+// the legacy one-shot behaviour).
+func (a *Aggregator) shouldAlert(ft *fleetTrace) bool {
+	if ft.lastAlert.IsZero() {
+		return true
+	}
+	return a.AlertRearm > 0 && a.now().Sub(ft.lastAlert) >= a.AlertRearm
 }
 
 // FleetTraces returns stitched traces newest-first under the filter.

@@ -46,10 +46,20 @@ type Flags struct {
 	TraceBuffer int
 	TraceSample float64
 	TraceSlow   time.Duration
+
+	// SLO and triggered-profiling knobs.
+	SLO             string
+	SLOInterval     time.Duration
+	ProfileDir      string
+	LatencyBuckets  string
+	ChaosSrvLatency time.Duration
+	ChaosSrvRate    float64
 }
 
-// BindFlags registers -debug-addr, -log-format, -log-level and the tracing
-// flags -trace-buffer, -trace-sample and -trace-slow on fs.
+// BindFlags registers -debug-addr, -log-format, -log-level, the tracing
+// flags -trace-buffer/-trace-sample/-trace-slow, the SLO flags
+// -slo/-slo-interval, -profile-dir, -latency-buckets and the server-side
+// chaos latency flags on fs.
 func BindFlags(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
 	fs.StringVar(&f.DebugAddr, "debug-addr", "",
@@ -62,16 +72,33 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 		"fraction of healthy traces tail-kept (errors and slow traces are always kept)")
 	fs.DurationVar(&f.TraceSlow, "trace-slow", 250*time.Millisecond,
 		"root latency at or above which a trace is always kept")
+	fs.StringVar(&f.SLO, "slo", "availability:99.9,latency:99:250ms",
+		"comma-separated SLO objectives evaluated over the RED metrics "+
+			"(availability:<pct> and latency:<pct>:<threshold>; \"off\" disables)")
+	fs.DurationVar(&f.SLOInterval, "slo-interval", 10*time.Second,
+		"SLO burn-rate sampling interval")
+	fs.StringVar(&f.ProfileDir, "profile-dir", "",
+		"directory for triggered pprof captures served at /v1/profiles (empty disables)")
+	fs.StringVar(&f.LatencyBuckets, "latency-buckets", "",
+		"override default latency histogram bucket bounds: comma-separated "+
+			"ascending durations, e.g. 100us,250us,1ms,5ms,25ms,100ms,250ms,1s,5s")
+	fs.DurationVar(&f.ChaosSrvLatency, "chaos-server-latency", 0,
+		"TEST ONLY: delay injected into handled requests (0 disables)")
+	fs.Float64Var(&f.ChaosSrvRate, "chaos-server-latency-rate", 1,
+		"TEST ONLY: fraction of requests receiving -chaos-server-latency")
 	return f
 }
 
 // Setup installs the configured logger (tagged with the component name),
-// sizes the process-wide span store from the -trace-* flags, registers the
-// build_info and Go runtime gauges, and, when -debug-addr is set, starts the
-// debug endpoint server — the Default registry and DefaultHealth probes
-// behind the request-scoped Middleware, so the debug surface itself has RED
-// metrics and access logs. The returned stop func gracefully shuts the debug
-// server down (no-op when disabled).
+// sizes the process-wide span store from the -trace-* flags, applies
+// -latency-buckets, registers the build_info and Go runtime gauges, starts
+// the SLO burn-rate engine (-slo) with triggered profiling (-profile-dir)
+// mounted at /v1/profile(s), arms server-side chaos latency when asked,
+// and, when -debug-addr is set, starts the debug endpoint server — the
+// Default registry and DefaultHealth probes behind the request-scoped
+// Middleware, so the debug surface itself has RED metrics and access logs.
+// The returned stop func gracefully shuts the debug server down and stops
+// the SLO engine (no-op when disabled).
 func (f *Flags) Setup(component string) (*slog.Logger, func(context.Context) error) {
 	logger := SetupLogger(f.LogFormat, f.LogLevel).With("component", component)
 	if f.TraceBuffer > 0 {
@@ -79,8 +106,55 @@ func (f *Flags) Setup(component string) (*slog.Logger, func(context.Context) err
 	} else {
 		SetDefaultSpans(nil)
 	}
+	if f.LatencyBuckets != "" {
+		bounds, err := ParseLatencyBuckets(f.LatencyBuckets)
+		if err == nil {
+			err = SetDurationBuckets(bounds)
+		}
+		if err != nil {
+			logger.Error("bad -latency-buckets, keeping defaults", "err", err)
+		}
+	}
 	RegisterRuntimeMetrics(Default(), component)
-	stop := func(context.Context) error { return nil }
+
+	var capture *ProfileCapture
+	if f.ProfileDir != "" {
+		capture = &ProfileCapture{Dir: f.ProfileDir, Logger: logger}
+		h := capture.Handler()
+		RegisterDebug("POST /v1/profile", h)
+		RegisterDebug("GET /v1/profiles", h)
+		RegisterDebug("GET /v1/profiles/{id}/{file}", h)
+	}
+
+	sloStop := func() {}
+	if specs, err := ParseSLOSpecs(f.SLO); err != nil {
+		logger.Error("bad -slo, SLO engine disabled", "err", err)
+	} else if len(specs) > 0 {
+		engine := &SLOEngine{
+			Service:  component,
+			Specs:    specs,
+			Interval: f.SLOInterval,
+			Logger:   logger,
+		}
+		if capture != nil {
+			engine.OnAlert = func(a SLOAlert) {
+				if a.Firing {
+					capture.TriggerAsync("slo-" + a.SLO + "-" + a.Severity)
+				}
+			}
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		sloStop = cancel
+		go engine.Run(ctx)
+	}
+
+	if f.ChaosSrvLatency > 0 {
+		logger.Warn("server-side chaos latency active", "latency", f.ChaosSrvLatency,
+			"rate", f.ChaosSrvRate)
+		SetServerChaosLatency(f.ChaosSrvLatency, f.ChaosSrvRate)
+	}
+
+	stop := func(context.Context) error { sloStop(); return nil }
 	if f.DebugAddr != "" {
 		h := Middleware(Default(), component, HandlerFor(Default(), DefaultHealth()))
 		bound, shutdown, err := StartDebugServer(f.DebugAddr, h)
@@ -88,8 +162,8 @@ func (f *Flags) Setup(component string) (*slog.Logger, func(context.Context) err
 			logger.Error("debug server failed to start", "addr", f.DebugAddr, "err", err)
 		} else {
 			logger.Info("debug endpoints up", "addr", bound,
-				"endpoints", "/metrics /debug/vars /debug/pprof /healthz /readyz /v1/traces")
-			stop = shutdown
+				"endpoints", "/metrics /debug/vars /debug/pprof /healthz /readyz /v1/traces /v1/profiles")
+			stop = func(ctx context.Context) error { sloStop(); return shutdown(ctx) }
 		}
 	}
 	return logger, stop

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a mutable time source for Aggregator.Now.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func slowTrace(id string, start time.Time, dur time.Duration) TraceRecord {
+	return TraceRecord{
+		TraceID:  id,
+		Root:     "GET /v1/cert/{fp}",
+		Route:    "/v1/cert/{fp}",
+		Start:    start,
+		Duration: dur,
+		Spans: []SpanRecord{{
+			TraceID: id, SpanID: id + "-s1", Service: "staleapid",
+			Name: "GET /v1/cert/{fp}", Start: start, Duration: dur,
+		}},
+	}
+}
+
+func alertCount(logs *bytes.Buffer) int {
+	return strings.Count(logs.String(), "slow trace")
+}
+
+// TestSlowTraceAlertRearms: a trace that stays slow across scrape rounds
+// re-alerts after the quiet period instead of firing exactly once forever.
+func TestSlowTraceAlertRearms(t *testing.T) {
+	var logs bytes.Buffer
+	clock := &fakeClock{t: time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)}
+	a := &Aggregator{
+		Registry:   NewRegistry(),
+		Logger:     slog.New(slog.NewTextHandler(&logs, nil)),
+		TraceSlow:  10 * time.Millisecond,
+		AlertRearm: time.Minute,
+		Now:        clock.now,
+	}
+	tr := slowTrace("t1", clock.now(), 50*time.Millisecond)
+
+	a.mergeTraces([]TraceRecord{tr})
+	if got := alertCount(&logs); got != 1 {
+		t.Fatalf("alerts after first merge = %d, want 1", got)
+	}
+
+	// Re-scraping the same slow trace inside the quiet period stays silent.
+	clock.advance(10 * time.Second)
+	a.mergeTraces([]TraceRecord{tr})
+	if got := alertCount(&logs); got != 1 {
+		t.Fatalf("alerts inside quiet period = %d, want 1", got)
+	}
+
+	// Past the quiet period the alert re-arms.
+	clock.advance(time.Minute)
+	a.mergeTraces([]TraceRecord{tr})
+	if got := alertCount(&logs); got != 2 {
+		t.Fatalf("alerts after quiet period = %d, want 2", got)
+	}
+	if got := a.reg().Counter("obsagg_slow_traces_total").Value(); got != 2 {
+		t.Errorf("obsagg_slow_traces_total = %v, want 2", got)
+	}
+}
+
+// TestSlowTraceAlertOneShotWithoutRearm: AlertRearm == 0 keeps the legacy
+// fire-once-per-trace behaviour.
+func TestSlowTraceAlertOneShotWithoutRearm(t *testing.T) {
+	var logs bytes.Buffer
+	clock := &fakeClock{t: time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)}
+	a := &Aggregator{
+		Registry:  NewRegistry(),
+		Logger:    slog.New(slog.NewTextHandler(&logs, nil)),
+		TraceSlow: 10 * time.Millisecond,
+		Now:       clock.now,
+	}
+	tr := slowTrace("t1", clock.now(), 50*time.Millisecond)
+	a.mergeTraces([]TraceRecord{tr})
+	clock.advance(24 * time.Hour)
+	a.mergeTraces([]TraceRecord{tr})
+	if got := alertCount(&logs); got != 1 {
+		t.Fatalf("one-shot alerts = %d, want 1", got)
+	}
+}
+
+// TestFleetSLOAlertRearms exercises the same re-arm policy on federated SLO
+// burn alerts, driving alertSLOBurn directly over injected federated samples.
+func TestFleetSLOAlertRearms(t *testing.T) {
+	var logs bytes.Buffer
+	clock := &fakeClock{t: time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)}
+	a := &Aggregator{
+		Registry:   NewRegistry(),
+		Logger:     slog.New(slog.NewTextHandler(&logs, nil)),
+		AlertRearm: time.Minute,
+		Now:        clock.now,
+	}
+	firing := []Sample{
+		{Name: "slo_burn_rate", Kind: KindGauge, Value: 20,
+			Labels: formatLabels([]string{"instance", "127.0.0.1:8786", "job", "staleapid", "slo", "availability", "window", "5m"})},
+		{Name: "slo_alert_firing", Kind: KindGauge, Value: 1,
+			Labels: formatLabels([]string{"instance", "127.0.0.1:8786", "job", "staleapid", "severity", "page", "slo", "availability"})},
+	}
+	a.mu.Lock()
+	a.byJob = map[string][]Sample{"staleapid@127.0.0.1:8786": firing}
+	a.mu.Unlock()
+
+	rows := a.FleetSLOs()
+	if len(rows) != 1 || rows[0].Job != "staleapid" || rows[0].SLO != "availability" {
+		t.Fatalf("FleetSLOs = %+v", rows)
+	}
+	if len(rows[0].Firing) != 1 || rows[0].Firing[0] != "page" {
+		t.Fatalf("firing severities = %v", rows[0].Firing)
+	}
+	if rows[0].BurnRates["5m"] != 20 {
+		t.Errorf("burn rate = %v", rows[0].BurnRates)
+	}
+
+	count := func() int { return strings.Count(logs.String(), "fleet slo burn-rate alert") }
+	a.alertSLOBurn()
+	if got := count(); got != 1 {
+		t.Fatalf("fleet alerts after first round = %d, want 1", got)
+	}
+	clock.advance(10 * time.Second)
+	a.alertSLOBurn()
+	if got := count(); got != 1 {
+		t.Fatalf("fleet alerts inside quiet period = %d, want 1", got)
+	}
+	clock.advance(time.Minute)
+	a.alertSLOBurn()
+	if got := count(); got != 2 {
+		t.Fatalf("fleet alerts after quiet period = %d, want 2", got)
+	}
+	if got := a.reg().Counter("obsagg_slo_alerts_total", "job", "staleapid", "severity", "page").Value(); got != 2 {
+		t.Errorf("obsagg_slo_alerts_total = %v, want 2", got)
+	}
+}
