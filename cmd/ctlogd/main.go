@@ -9,7 +9,7 @@
 //	       [-log-format text|json] [-chaos-seed 0]
 //	       [-trace-buffer 256] [-trace-sample 0.1] [-trace-slow 250ms]
 //	       [-slo availability:99.9,latency:99:250ms] [-profile-dir DIR]
-//	       [-latency-buckets 1ms,5ms,...]
+//	       [-latency-buckets 1ms,5ms,...] [-log-buffer 1024]
 //
 // A non-zero -chaos-seed wraps the listener in resil.NewChaosListener, which
 // drops a deterministic fraction of accepted connections — server-side fault

@@ -10,7 +10,7 @@
 //
 // Both modes accept the shared observability flags (-debug-addr, -log-format,
 // -log-level, -trace-buffer, -trace-sample, -trace-slow, -slo, -slo-interval,
-// -profile-dir, -latency-buckets).
+// -profile-dir, -latency-buckets, -log-buffer).
 package main
 
 import (

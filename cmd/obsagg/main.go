@@ -1,20 +1,24 @@
 // Command obsagg is the fleet observability aggregator: it scrapes every
-// configured daemon's /metrics and /v1/traces endpoints on an interval,
-// merges the metric series under added job/instance labels, stitches the
-// per-daemon trace fragments into fleet-wide span trees, and serves the
-// combined view — one Prometheus scrape target and one trace query surface
-// for the whole deployment — plus a plain-text fleet summary. Scrape
-// failures, jobs whose server error rate crosses a threshold, stitched
-// traces slower than -fleet-trace-slow, and federated SLO burn-rate alerts
-// (slo_alert_firing on any target) raise structured log alerts; -alert-rearm
-// re-fires a still-active alert after a quiet period instead of once ever.
+// configured daemon's /metrics, /v1/traces and /v1/logs endpoints on an
+// interval, merges the metric series under added job/instance labels,
+// stitches the per-daemon trace fragments into fleet-wide span trees, and
+// merges the per-daemon log rings into one time-ordered instance-labelled
+// log stream — one Prometheus scrape target, one trace query surface and one
+// log query surface for the whole deployment — plus a plain-text fleet
+// summary. Scrape failures, jobs whose server error rate crosses a
+// threshold, stitched traces slower than -fleet-trace-slow, federated SLO
+// burn-rate alerts (slo_alert_firing on any target) and per-job error-log
+// bursts above -error-burst-threshold raise structured log alerts;
+// -alert-rearm re-fires a still-active alert after a quiet period instead of
+// once ever.
 //
 // Usage:
 //
 //	obsagg -targets ctlogd=http://127.0.0.1:9090,crld=http://127.0.0.1:9091 \
 //	       [-addr 127.0.0.1:8790] [-scrape-interval 10s] [-error-rate-threshold 0.1]
 //	       [-fleet-trace-slow 1s] [-fleet-trace-buffer 512] [-alert-rearm 5m]
-//	       [-debug-addr 127.0.0.1:0] [-log-format text|json]
+//	       [-fleet-log-buffer 4096] [-error-burst-threshold 1]
+//	       [-debug-addr 127.0.0.1:0] [-log-format text|json] [-log-buffer 1024]
 //	       [-trace-buffer 256] [-trace-sample 0.1] [-trace-slow 250ms]
 //	       [-slo availability:99.9,latency:99:250ms] [-profile-dir DIR]
 //	       [-latency-buckets 1ms,5ms,...]
@@ -30,7 +34,9 @@
 //	/metrics            federated exposition across every target (+ obsagg's own series)
 //	/fleet              plain-text per-target summary (up/down, series counts, failures)
 //	/fleet/traces       stitched cross-daemon trace summaries (?route=, ?min_ms=, ?error=1, ?spans=1)
-//	/fleet/traces/{id}  one stitched trace as a span tree
+//	/fleet/traces/{id}  one stitched trace as a span tree + its correlated log lines
+//	/fleet/logs         merged per-daemon log rings, time-ordered and instance-labelled
+//	                    (?level=, ?trace=, ?since=, ?q=, ?limit=, ?job=, ?instance=)
 //	/fleet/slo          per-job SLO burn rates, budget remaining and firing severities
 //	/healthz            liveness
 //	/readyz             ready once the first scrape round completes
@@ -58,7 +64,11 @@ func main() {
 	fleetSlow := flag.Duration("fleet-trace-slow", time.Second, "stitched-trace duration that raises a slow-trace alert (0 disables)")
 	fleetBuffer := flag.Int("fleet-trace-buffer", 512, "stitched traces retained in the fleet view")
 	alertRearm := flag.Duration("alert-rearm", 5*time.Minute,
-		"quiet period after which a still-active slow-trace or SLO burn alert re-fires (0 = once ever)")
+		"quiet period after which a still-active slow-trace, SLO burn or error-burst alert re-fires (0 = once ever)")
+	fleetLogBuffer := flag.Int("fleet-log-buffer", obs.DefaultFleetLogBuffer,
+		"merged log records retained in the fleet view")
+	errorBurst := flag.Float64("error-burst-threshold", 1,
+		"per-job error-log records/second (from federated log_records_total) that raises a fleet alert (0 disables)")
 	obsFlags := obs.BindFlags(flag.CommandLine)
 	var rf resil.Flags
 	rf.BindFlags(flag.CommandLine)
@@ -77,14 +87,16 @@ func main() {
 	}
 
 	agg := &obs.Aggregator{
-		Targets:            parsed,
-		Logger:             logger,
-		ErrorRateThreshold: *threshold,
-		TraceSlow:          *fleetSlow,
-		TraceBuffer:        *fleetBuffer,
-		AlertRearm:         *alertRearm,
-		SelfJob:            "obsagg",
-		Client:             resil.NewHTTPClient(rf.Options("obsagg")),
+		Targets:             parsed,
+		Logger:              logger,
+		ErrorRateThreshold:  *threshold,
+		TraceSlow:           *fleetSlow,
+		TraceBuffer:         *fleetBuffer,
+		AlertRearm:          *alertRearm,
+		FleetLogBuffer:      *fleetLogBuffer,
+		ErrorBurstThreshold: *errorBurst,
+		SelfJob:             "obsagg",
+		Client:              resil.NewHTTPClient(rf.Options("obsagg")),
 	}
 	obs.DefaultHealth().Register("first-scrape-round", agg.Ready)
 
@@ -106,7 +118,7 @@ func main() {
 
 	logger.Info("serving federated metrics", "targets", len(parsed), "addr", *addr,
 		"interval", interval.String(),
-		"endpoints", "/metrics /fleet /fleet/traces /fleet/traces/{id} /fleet/slo /healthz /readyz")
+		"endpoints", "/metrics /fleet /fleet/traces /fleet/traces/{id} /fleet/logs /fleet/slo /healthz /readyz")
 
 	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)

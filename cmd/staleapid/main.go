@@ -24,7 +24,7 @@
 //	          [-cache-entries 1024] [-cache-ttl 5s] [-debug-addr 127.0.0.1:0]
 //	          [-trace-buffer 256] [-trace-sample 0.1] [-trace-slow 250ms]
 //	          [-slo availability:99.9,latency:99:250ms] [-profile-dir DIR]
-//	          [-latency-buckets 1ms,5ms,...]
+//	          [-latency-buckets 1ms,5ms,...] [-log-buffer 1024]
 //	          [-retry-max 4] [-breaker-threshold 0.5] [-chaos-seed 0]
 //
 // Every outbound call (CT log tail, CRL fetches) goes through the resilience

@@ -20,7 +20,7 @@
 //	          [-scenario steady] [-qps 200] [-duration 10s] [-workers 16]
 //	          [-mode open|closed] [-mix staleness:40,cert:50,getentries:10]
 //	          [-zipf-s 1.1] [-seed 1] [-warmup 0.1] [-timeout 5s]
-//	          [-out .] [-sha auto] [-max-error-rate 0]
+//	          [-out .] [-sha auto] [-max-error-rate 0] [-log-buffer 1024]
 //
 // Ops: "staleness" GETs /v1/domain/{e2ld}/staleness and "cert" GETs
 // /v1/cert/{fp} on -target; "getentries" GETs a window of /ct/v1/get-entries

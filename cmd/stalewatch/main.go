@@ -10,7 +10,7 @@
 //	           [-jsonl] [-store DIR] [-retry-max 4] [-breaker-threshold 0.5] [-chaos-seed 0]
 //	           [-trace-buffer 256] [-trace-sample 0.1] [-trace-slow 250ms]
 //	           [-slo availability:99.9,latency:99:250ms] [-profile-dir DIR]
-//	           [-latency-buckets 1ms,5ms,...]
+//	           [-latency-buckets 1ms,5ms,...] [-log-buffer 1024]
 //
 // Point it at cmd/ctlogd, cmd/whoisd, cmd/dnsscand and cmd/crld instances
 // (or real deployments of the same protocols). With -jsonl every alert is

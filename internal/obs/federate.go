@@ -429,10 +429,17 @@ type Aggregator struct {
 	// TraceBuffer bounds stitched traces retained in the fleet view
 	// (<= 0 uses DefaultFleetTraceBuffer).
 	TraceBuffer int
-	// AlertRearm is the quiet period after which per-trace slow alerts and
-	// per-job SLO burn alerts may fire again (0: fire once and stay
-	// silenced).
+	// AlertRearm is the quiet period after which per-trace slow alerts,
+	// per-job SLO burn alerts and error-burst alerts may fire again (0: fire
+	// once and stay silenced).
 	AlertRearm time.Duration
+	// FleetLogBuffer bounds merged log records retained in the fleet view
+	// (<= 0 uses DefaultFleetLogBuffer).
+	FleetLogBuffer int
+	// ErrorBurstThreshold is the per-job error-log rate (records/second,
+	// from the federated log_records_total counters) above which a fleet
+	// error-burst alert fires (0 disables).
+	ErrorBurstThreshold float64
 	// Now overrides the clock for alert re-arm decisions (tests).
 	Now func() time.Time
 
@@ -443,6 +450,11 @@ type Aggregator struct {
 	traces     map[string]*fleetTrace // trace ID -> stitched fleet trace
 	traceOrder []string
 	sloAlerts  map[string]time.Time // job/slo/severity -> last alert time
+	fleetLogs  []LogRecord          // merged log records, time-ordered
+	logStates  map[string]*logTargetState
+	errLogPrev map[string]float64 // job -> last error-log counter total
+	errLogCheck time.Time
+	burstAlerts map[string]time.Time // errburst/job -> last alert time
 }
 
 func (a *Aggregator) now() time.Time {
@@ -486,6 +498,12 @@ func (a *Aggregator) ScrapeOnce(ctx context.Context) {
 		} else {
 			a.mergeTraces(traces)
 		}
+		logs, lerr := a.scrapeLogs(ctx, hc, t)
+		if lerr != nil {
+			a.logger().Warn("log scrape failed", "job", t.Job, "instance", t.Instance(), "err", lerr)
+		} else {
+			a.mergeLogs(t, logs)
+		}
 	}
 	if a.SelfJob != "" {
 		self := a.reg().Snapshot()
@@ -508,6 +526,7 @@ func (a *Aggregator) ScrapeOnce(ctx context.Context) {
 	a.reg().Histogram("obsagg_round_seconds", nil).Observe(time.Since(began).Seconds())
 	a.alertErrorRates()
 	a.alertSLOBurn()
+	a.alertErrorBurst()
 }
 
 func (a *Aggregator) scrapeTarget(ctx context.Context, hc *http.Client, t Target) ([]Sample, error) {
@@ -684,7 +703,11 @@ const StaleEvidenceHeader = "X-Stale-Evidence"
 //	/fleet              a plain-text per-target summary (up/down, last scrape, series)
 //	/fleet/traces       stitched cross-daemon trace summaries (same filters
 //	                    as the per-daemon /v1/traces)
-//	/fleet/traces/{id}  one stitched trace as a full span tree
+//	/fleet/traces/{id}  one stitched trace as a full span tree, with the
+//	                    correlated log lines from every daemon it touched
+//	/fleet/logs         merged, time-ordered, instance-labelled log records
+//	                    (same filters as the per-daemon /v1/logs, plus
+//	                    ?job= and ?instance=)
 //	/fleet/slo          per-job SLO burn rates, budget remaining and firing
 //	                    alerts digested from the federated slo_* series
 //
@@ -692,6 +715,7 @@ const StaleEvidenceHeader = "X-Stale-Evidence"
 // header naming the targets whose series are served from the last good round.
 func (a *Aggregator) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /fleet/logs", a.handleFleetLogs)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if down := a.DownTargets(); len(down) > 0 {

@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file implements fleet log aggregation: the Aggregator scrapes every
+// target's /v1/logs alongside /metrics and /v1/traces, dedups records by
+// their per-process sequence numbers, labels them with job/instance, and
+// merges them into one bounded time-ordered fleet view served at /fleet/logs
+// (same filters as the per-daemon endpoint, plus ?job= and ?instance=).
+// /fleet/traces/{id} uses the same store to return the log lines correlated
+// to a stitched trace from every daemon that touched it, and a re-armable
+// error-burst alert watches the federated log_records_total counters so a
+// daemon suddenly spewing error logs pages from the same obsagg stream as
+// slow traces and SLO burns.
+
+// DefaultFleetLogBuffer bounds merged log records retained by an Aggregator
+// when FleetLogBuffer is unset.
+const DefaultFleetLogBuffer = 4096
+
+// logScrapeOverlap is re-requested on every round so records landing just
+// before the previous scrape's cutoff are not missed; the sequence-number
+// high-water mark dedups the overlap.
+const logScrapeOverlap = 2 * time.Second
+
+// logTargetState tracks per-target log-scrape progress.
+type logTargetState struct {
+	highSeq  uint64    // newest sequence number merged from this target
+	lastTime time.Time // newest record time merged (the next ?since= basis)
+}
+
+// scrapeLogs fetches one target's fresh log records; targets running without
+// a ring (-log-buffer=0 or an older build) answer 404 and are skipped.
+func (a *Aggregator) scrapeLogs(ctx context.Context, hc *http.Client, t Target) ([]LogRecord, error) {
+	key := t.Job + "\x00" + t.Instance()
+	a.mu.RLock()
+	var since time.Time
+	if st, ok := a.logStates[key]; ok {
+		since = st.lastTime.Add(-logScrapeOverlap)
+	}
+	a.mu.RUnlock()
+
+	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	u := strings.TrimSuffix(t.URL, "/") + "/v1/logs"
+	if !since.IsZero() {
+		u += "?since=" + url.QueryEscape(since.UTC().Format(time.RFC3339Nano))
+	}
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, nil // log ring disabled on this target
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("obs: scrape logs %s: status %d", t.URL, resp.StatusCode)
+	}
+	var recs []LogRecord
+	if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+		return nil, fmt.Errorf("obs: decode logs from %s: %w", t.URL, err)
+	}
+	return recs, nil
+}
+
+// mergeLogs folds one target's scraped records into the fleet view: records
+// already merged (sequence number at or under the target's high-water mark)
+// are dropped, the rest gain job/instance labels and the merged slice is
+// re-sorted by record time — so /fleet/logs reads chronologically even when
+// instances' clocks or scrape rounds are skewed — and trimmed oldest-first
+// to the buffer bound.
+func (a *Aggregator) mergeLogs(t Target, recs []LogRecord) {
+	if len(recs) == 0 {
+		return
+	}
+	key := t.Job + "\x00" + t.Instance()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.logStates == nil {
+		a.logStates = make(map[string]*logTargetState)
+	}
+	st := a.logStates[key]
+	if st == nil {
+		st = &logTargetState{}
+		a.logStates[key] = st
+	}
+	// A restarted daemon starts a fresh sequence space: when the batch's
+	// newest seq is below the high-water mark, reset instead of dropping the
+	// new process's records forever.
+	maxSeq := uint64(0)
+	for _, r := range recs {
+		if r.Seq > maxSeq {
+			maxSeq = r.Seq
+		}
+	}
+	if maxSeq < st.highSeq {
+		st.highSeq = 0
+	}
+	added := 0
+	for _, r := range recs {
+		if r.Seq <= st.highSeq {
+			continue
+		}
+		r.Job = t.Job
+		r.Instance = t.Instance()
+		a.fleetLogs = append(a.fleetLogs, r)
+		added++
+		if r.Time.After(st.lastTime) {
+			st.lastTime = r.Time
+		}
+	}
+	for _, r := range recs {
+		if r.Seq > st.highSeq {
+			st.highSeq = r.Seq
+		}
+	}
+	if added == 0 {
+		return
+	}
+	sort.SliceStable(a.fleetLogs, func(i, j int) bool {
+		ri, rj := a.fleetLogs[i], a.fleetLogs[j]
+		if !ri.Time.Equal(rj.Time) {
+			return ri.Time.Before(rj.Time)
+		}
+		if ri.Job != rj.Job {
+			return ri.Job < rj.Job
+		}
+		if ri.Instance != rj.Instance {
+			return ri.Instance < rj.Instance
+		}
+		return ri.Seq < rj.Seq
+	})
+	max := a.FleetLogBuffer
+	if max <= 0 {
+		max = DefaultFleetLogBuffer
+	}
+	if len(a.fleetLogs) > max {
+		a.fleetLogs = append([]LogRecord(nil), a.fleetLogs[len(a.fleetLogs)-max:]...)
+	}
+}
+
+// FleetLogs returns merged records in time order under the filter.
+func (a *Aggregator) FleetLogs(f LogFilter) []LogRecord {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]LogRecord, 0, len(a.fleetLogs))
+	for _, r := range a.fleetLogs {
+		if f.matches(r) {
+			out = append(out, r)
+		}
+	}
+	if f.Limit > 0 && len(out) > f.Limit {
+		out = out[len(out)-f.Limit:]
+	}
+	return out
+}
+
+// FleetLogCount reports how many merged records the fleet view holds.
+func (a *Aggregator) FleetLogCount() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.fleetLogs)
+}
+
+func (a *Aggregator) handleFleetLogs(w http.ResponseWriter, r *http.Request) {
+	f, err := ParseLogFilter(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeLogJSON(w, a.FleetLogs(f))
+}
+
+// alertErrorBurst watches the federated log_records_total{level="error"}
+// counters: when a job's error-log rate between consecutive checks exceeds
+// ErrorBurstThreshold (records/second), a fleet alert fires under the same
+// re-arm policy as slow-trace and SLO burn alerts. Counter deltas (rather
+// than counting scraped records) keep the alert honest even when the ring
+// evicted records between scrapes.
+func (a *Aggregator) alertErrorBurst() {
+	if a.ErrorBurstThreshold <= 0 {
+		return
+	}
+	totals := make(map[string]float64)
+	for _, s := range a.Federated() {
+		if s.Name != "log_records_total" || LabelValue(s, "level") != "error" {
+			continue
+		}
+		totals[LabelValue(s, "job")] += s.Value
+	}
+	now := a.now()
+	type burst struct {
+		job  string
+		rate float64
+	}
+	var bursts []burst
+	a.mu.Lock()
+	if a.errLogPrev == nil {
+		a.errLogPrev = make(map[string]float64)
+	}
+	elapsed := now.Sub(a.errLogCheck).Seconds()
+	first := a.errLogCheck.IsZero()
+	a.errLogCheck = now
+	for job, cur := range totals {
+		prev, seen := a.errLogPrev[job]
+		a.errLogPrev[job] = cur
+		if first || !seen || elapsed <= 0 {
+			continue
+		}
+		delta := cur - prev
+		if delta < 0 {
+			continue // counter reset (daemon restart): re-baseline
+		}
+		if rate := delta / elapsed; rate > a.ErrorBurstThreshold {
+			key := "errburst/" + job
+			if a.burstAlerts == nil {
+				a.burstAlerts = make(map[string]time.Time)
+			}
+			last, fired := a.burstAlerts[key]
+			if !fired || (a.AlertRearm > 0 && now.Sub(last) >= a.AlertRearm) {
+				a.burstAlerts[key] = now
+				bursts = append(bursts, burst{job: job, rate: rate})
+			}
+		}
+	}
+	a.mu.Unlock()
+	for _, b := range bursts {
+		a.logger().Warn("fleet error-log burst", "job", b.job,
+			"rate_per_s", b.rate, "threshold_per_s", a.ErrorBurstThreshold,
+			"hint", "/fleet/logs?level=error&job="+b.job)
+		a.reg().Counter("obsagg_error_burst_alerts_total", "job", b.job).Inc()
+	}
+}
+
+// FleetTraceLogs returns the merged log records correlated to one trace ID,
+// in time order — the drill-down /fleet/traces/{id} embeds.
+func (a *Aggregator) FleetTraceLogs(traceID string) []LogRecord {
+	return a.FleetLogs(LogFilter{TraceID: traceID})
+}

@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func TestMergeLogsOrderingAcrossSkewedInstances(t *testing.T) {
+	a := &Aggregator{Registry: NewRegistry(), Logger: quietLogger()}
+	t1 := Target{Job: "ctlogd", URL: "http://a:1"}
+	t2 := Target{Job: "staleapid", URL: "http://b:2"}
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+	// ctlogd's scrape arrives first but its records interleave in time with
+	// staleapid's: the merged view must read chronologically regardless of
+	// scrape order.
+	a.mergeLogs(t1, []LogRecord{
+		{Seq: 1, Time: base.Add(1 * time.Second), Level: "INFO", Msg: "ct-1"},
+		{Seq: 2, Time: base.Add(4 * time.Second), Level: "INFO", Msg: "ct-2"},
+	})
+	a.mergeLogs(t2, []LogRecord{
+		{Seq: 1, Time: base, Level: "INFO", Msg: "api-1"},
+		{Seq: 2, Time: base.Add(2 * time.Second), Level: "INFO", Msg: "api-2"},
+		{Seq: 3, Time: base.Add(3 * time.Second), Level: "INFO", Msg: "api-3"},
+	})
+
+	var got []string
+	for _, r := range a.FleetLogs(LogFilter{}) {
+		got = append(got, r.Msg)
+	}
+	want := []string{"api-1", "ct-1", "api-2", "api-3", "ct-2"}
+	if len(got) != len(want) {
+		t.Fatalf("merged %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged %v, want %v", got, want)
+		}
+	}
+	// Records carry the aggregator-assigned job/instance labels.
+	recs := a.FleetLogs(LogFilter{Job: "ctlogd"})
+	if len(recs) != 2 || recs[0].Instance != t1.Instance() {
+		t.Errorf("job filter: %+v", recs)
+	}
+}
+
+func TestMergeLogsDedupAndRestartReset(t *testing.T) {
+	a := &Aggregator{Registry: NewRegistry(), Logger: quietLogger()}
+	tgt := Target{Job: "crld", URL: "http://c:3"}
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+	batch := []LogRecord{
+		{Seq: 5, Time: base, Level: "INFO", Msg: "one"},
+		{Seq: 6, Time: base.Add(time.Second), Level: "INFO", Msg: "two"},
+	}
+	a.mergeLogs(tgt, batch)
+	// Scrape overlap re-delivers the same records plus one new one: only the
+	// new record lands.
+	a.mergeLogs(tgt, append(batch, LogRecord{Seq: 7, Time: base.Add(2 * time.Second), Level: "INFO", Msg: "three"}))
+	if got := a.FleetLogCount(); got != 3 {
+		t.Fatalf("after overlap re-scrape: %d records, want 3", got)
+	}
+
+	// The daemon restarts: sequence numbers start over. The batch's newest
+	// seq (2) below the high-water mark (7) resets the mark so the fresh
+	// process's records are kept.
+	a.mergeLogs(tgt, []LogRecord{
+		{Seq: 1, Time: base.Add(3 * time.Second), Level: "INFO", Msg: "reborn"},
+		{Seq: 2, Time: base.Add(4 * time.Second), Level: "INFO", Msg: "again"},
+	})
+	if got := a.FleetLogCount(); got != 5 {
+		t.Fatalf("after restart: %d records, want 5", got)
+	}
+	recs := a.FleetLogs(LogFilter{})
+	if recs[len(recs)-1].Msg != "again" {
+		t.Errorf("restart records missing: %+v", recs)
+	}
+}
+
+func TestMergeLogsBufferTrim(t *testing.T) {
+	a := &Aggregator{Registry: NewRegistry(), Logger: quietLogger(), FleetLogBuffer: 3}
+	tgt := Target{Job: "ctlogd", URL: "http://a:1"}
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	var recs []LogRecord
+	for i := 0; i < 6; i++ {
+		recs = append(recs, LogRecord{Seq: uint64(i + 1), Time: base.Add(time.Duration(i) * time.Second),
+			Level: "INFO", Msg: "m"})
+	}
+	a.mergeLogs(tgt, recs)
+	if got := a.FleetLogCount(); got != 3 {
+		t.Fatalf("trimmed to %d, want 3", got)
+	}
+	kept := a.FleetLogs(LogFilter{})
+	if kept[0].Seq != 4 {
+		t.Errorf("oldest kept seq = %d, want 4 (oldest evicted first)", kept[0].Seq)
+	}
+}
+
+func TestScrapeLogsEndToEnd(t *testing.T) {
+	ring := testRing(16)
+	base := time.Now().UTC()
+	ring.Append(LogRecord{Time: base, Level: "INFO", Msg: "first", TraceID: "tr1"})
+	ring.Append(LogRecord{Time: base.Add(time.Second), Level: "ERROR", Msg: "second", TraceID: "tr1"})
+	srv := httptest.NewServer(ring.Handler())
+	defer srv.Close()
+
+	a := &Aggregator{Registry: NewRegistry(), Logger: quietLogger()}
+	tgt := Target{Job: "ctlogd", URL: srv.URL}
+	recs, err := a.scrapeLogs(context.Background(), srv.Client(), tgt)
+	if err != nil {
+		t.Fatalf("scrapeLogs: %v", err)
+	}
+	a.mergeLogs(tgt, recs)
+	if got := a.FleetLogCount(); got != 2 {
+		t.Fatalf("merged %d records, want 2", got)
+	}
+
+	// Second round: the ?since= cursor plus seq dedup deliver only new data.
+	ring.Append(LogRecord{Time: base.Add(2 * time.Second), Level: "INFO", Msg: "third"})
+	recs, err = a.scrapeLogs(context.Background(), srv.Client(), tgt)
+	if err != nil {
+		t.Fatalf("scrapeLogs round 2: %v", err)
+	}
+	a.mergeLogs(tgt, recs)
+	if got := a.FleetLogCount(); got != 3 {
+		t.Fatalf("after round 2: %d records, want 3", got)
+	}
+
+	// Trace correlation flows through the fleet store.
+	if logs := a.FleetTraceLogs("tr1"); len(logs) != 2 {
+		t.Errorf("FleetTraceLogs = %d records, want 2", len(logs))
+	}
+
+	// A target without a ring (404) is skipped without error.
+	none := httptest.NewServer(http.NotFoundHandler())
+	defer none.Close()
+	recs, err = a.scrapeLogs(context.Background(), none.Client(), Target{Job: "old", URL: none.URL})
+	if err != nil || recs != nil {
+		t.Errorf("404 target: recs=%v err=%v, want nil/nil", recs, err)
+	}
+}
+
+func TestFleetLogsHandler(t *testing.T) {
+	a := &Aggregator{Registry: NewRegistry(), Logger: quietLogger()}
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	a.mergeLogs(Target{Job: "ctlogd", URL: "http://a:1"}, []LogRecord{
+		{Seq: 1, Time: base, Level: "ERROR", Msg: "boom", TraceID: "tr9"},
+	})
+	a.mergeLogs(Target{Job: "staleapid", URL: "http://b:2"}, []LogRecord{
+		{Seq: 1, Time: base.Add(time.Second), Level: "INFO", Msg: "fine"},
+	})
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+
+	get := func(q string) []LogRecord {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/fleet/logs" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", q, resp.StatusCode)
+		}
+		var recs []LogRecord
+		if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+	if recs := get(""); len(recs) != 2 {
+		t.Errorf("unfiltered: %d, want 2", len(recs))
+	}
+	if recs := get("?job=ctlogd"); len(recs) != 1 || recs[0].Msg != "boom" {
+		t.Errorf("?job=: %+v", recs)
+	}
+	if recs := get("?level=error"); len(recs) != 1 || recs[0].Job != "ctlogd" {
+		t.Errorf("?level=error: %+v", recs)
+	}
+	if recs := get("?trace=tr9"); len(recs) != 1 || recs[0].Msg != "boom" {
+		t.Errorf("?trace=: %+v", recs)
+	}
+}
+
+func TestAlertErrorBurst(t *testing.T) {
+	reg := NewRegistry()
+	clock := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	a := &Aggregator{
+		Registry:            reg,
+		Logger:              quietLogger(),
+		ErrorBurstThreshold: 1, // >1 error record/second pages
+		AlertRearm:          time.Minute,
+		Now:                 func() time.Time { return clock },
+	}
+	setErrTotal := func(job string, v float64) {
+		a.mu.Lock()
+		a.ensureMaps()
+		a.byJob[job] = []Sample{{
+			Name:   "log_records_total",
+			Labels: formatLabels([]string{"job", job, "level", "error", "service", job}),
+			Kind:   KindCounter,
+			Value:  v,
+		}}
+		a.mu.Unlock()
+	}
+	fired := func() float64 {
+		return float64(reg.Counter("obsagg_error_burst_alerts_total", "job", "ctlogd").Value())
+	}
+
+	// Round 1 baselines without firing.
+	setErrTotal("ctlogd", 10)
+	a.alertErrorBurst()
+	if fired() != 0 {
+		t.Fatal("first round fired")
+	}
+
+	// Round 2: 50 error records in 10s = 5/s > 1/s — fires.
+	clock = clock.Add(10 * time.Second)
+	setErrTotal("ctlogd", 60)
+	a.alertErrorBurst()
+	if fired() != 1 {
+		t.Fatalf("burst did not fire: %v", fired())
+	}
+
+	// Round 3: still bursting but inside the re-arm quiet period — silent.
+	clock = clock.Add(10 * time.Second)
+	setErrTotal("ctlogd", 110)
+	a.alertErrorBurst()
+	if fired() != 1 {
+		t.Fatalf("alert re-fired inside quiet period: %v", fired())
+	}
+
+	// Round 4: past the quiet period and still bursting — re-fires.
+	clock = clock.Add(2 * time.Minute)
+	setErrTotal("ctlogd", 1200)
+	a.alertErrorBurst()
+	if fired() != 2 {
+		t.Fatalf("alert did not re-arm: %v", fired())
+	}
+
+	// Counter reset (restart) re-baselines instead of firing on a negative delta.
+	clock = clock.Add(10 * time.Minute)
+	setErrTotal("ctlogd", 3)
+	a.alertErrorBurst()
+	if fired() != 2 {
+		t.Fatalf("restart fired an alert: %v", fired())
+	}
+
+	// A quiet job below threshold never fires.
+	clock = clock.Add(10 * time.Second)
+	setErrTotal("ctlogd", 5) // 2 records in 10s = 0.2/s
+	a.alertErrorBurst()
+	if fired() != 2 {
+		t.Fatalf("sub-threshold rate fired: %v", fired())
+	}
+}

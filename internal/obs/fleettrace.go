@@ -233,5 +233,8 @@ func (a *Aggregator) handleFleetTrace(w http.ResponseWriter, r *http.Request) {
 		Error:      tr.Error,
 		KeepReason: tr.KeepReason,
 		Spans:      BuildSpanTree(tr.Spans),
+		// The drill-down layer: every daemon's log lines for this trace,
+		// merged and time-ordered by the fleet log store.
+		Logs: a.FleetTraceLogs(tr.TraceID),
 	})
 }

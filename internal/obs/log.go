@@ -3,6 +3,7 @@ package obs
 import (
 	"context"
 	"flag"
+	"io"
 	"log/slog"
 	"os"
 	"strings"
@@ -11,30 +12,56 @@ import (
 
 // SetupLogger builds a slog logger writing to stderr in the given format
 // ("text" or "json") at the given level ("debug", "info", "warn", "error"),
-// installs it as the slog default, and returns it. Unknown values fall back
-// to text/info.
+// installs it as the slog default, and returns it. The level is backed by
+// the process-wide slog.LevelVar, so PUT /v1/loglevel retargets a live
+// daemon, and the handler tees every record into the process log ring
+// (DefaultLogRing) for /v1/logs. Unknown values fall back to text/info with
+// a warning naming the bad value and the fallback.
 func SetupLogger(format, level string) *slog.Logger {
-	var lv slog.Level
-	switch strings.ToLower(level) {
-	case "debug":
-		lv = slog.LevelDebug
-	case "warn", "warning":
-		lv = slog.LevelWarn
-	case "error":
-		lv = slog.LevelError
-	default:
+	return setupLogger(os.Stderr, format, level)
+}
+
+// setupLogger is SetupLogger with an injectable sink (tests capture the
+// warning output).
+func setupLogger(w io.Writer, format, level string) *slog.Logger {
+	lv, levelOK := parseLevelName(level)
+	if !levelOK {
 		lv = slog.LevelInfo
 	}
-	opts := &slog.HandlerOptions{Level: lv}
+	logLevel.Set(lv)
+	opts := &slog.HandlerOptions{Level: &logLevel}
 	var h slog.Handler
-	if strings.ToLower(format) == "json" {
-		h = slog.NewJSONHandler(os.Stderr, opts)
+	f := strings.ToLower(format)
+	if f == "json" {
+		h = slog.NewJSONHandler(w, opts)
 	} else {
-		h = slog.NewTextHandler(os.Stderr, opts)
+		h = slog.NewTextHandler(w, opts)
 	}
-	l := slog.New(h)
+	l := slog.New(NewTeeHandler(h, nil))
 	slog.SetDefault(l)
+	if !levelOK {
+		l.Warn("unknown -log-level, falling back", "value", level, "fallback", "info")
+	}
+	if f != "json" && f != "text" {
+		l.Warn("unknown -log-format, falling back", "value", format, "fallback", "text")
+	}
 	return l
+}
+
+// parseLevelName maps the -log-level flag values to slog levels, reporting
+// whether the name was recognised.
+func parseLevelName(level string) (slog.Level, bool) {
+	switch strings.ToLower(level) {
+	case "debug":
+		return slog.LevelDebug, true
+	case "info":
+		return slog.LevelInfo, true
+	case "warn", "warning":
+		return slog.LevelWarn, true
+	case "error":
+		return slog.LevelError, true
+	}
+	return slog.LevelInfo, false
 }
 
 // Flags carries the standard observability flag values every cmd/ binary
@@ -43,6 +70,7 @@ type Flags struct {
 	DebugAddr   string
 	LogFormat   string
 	LogLevel    string
+	LogBuffer   int
 	TraceBuffer int
 	TraceSample float64
 	TraceSlow   time.Duration
@@ -56,8 +84,8 @@ type Flags struct {
 	ChaosSrvRate    float64
 }
 
-// BindFlags registers -debug-addr, -log-format, -log-level, the tracing
-// flags -trace-buffer/-trace-sample/-trace-slow, the SLO flags
+// BindFlags registers -debug-addr, -log-format, -log-level, -log-buffer, the
+// tracing flags -trace-buffer/-trace-sample/-trace-slow, the SLO flags
 // -slo/-slo-interval, -profile-dir, -latency-buckets and the server-side
 // chaos latency flags on fs.
 func BindFlags(fs *flag.FlagSet) *Flags {
@@ -66,6 +94,8 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 		"serve /metrics, /debug/vars and /debug/pprof on this address (empty disables)")
 	fs.StringVar(&f.LogFormat, "log-format", "text", "log output format: text or json")
 	fs.StringVar(&f.LogLevel, "log-level", "info", "log level: debug, info, warn or error")
+	fs.IntVar(&f.LogBuffer, "log-buffer", DefaultLogBuffer,
+		"structured log records retained in memory for /v1/logs (0 disables the ring)")
 	fs.IntVar(&f.TraceBuffer, "trace-buffer", 256,
 		"kept traces retained in memory for /v1/traces (0 disables tracing)")
 	fs.Float64Var(&f.TraceSample, "trace-sample", 0.10,
@@ -90,17 +120,23 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 }
 
 // Setup installs the configured logger (tagged with the component name),
-// sizes the process-wide span store from the -trace-* flags, applies
-// -latency-buckets, registers the build_info and Go runtime gauges, starts
-// the SLO burn-rate engine (-slo) with triggered profiling (-profile-dir)
-// mounted at /v1/profile(s), arms server-side chaos latency when asked,
-// and, when -debug-addr is set, starts the debug endpoint server — the
-// Default registry and DefaultHealth probes behind the request-scoped
-// Middleware, so the debug surface itself has RED metrics and access logs.
-// The returned stop func gracefully shuts the debug server down and stops
-// the SLO engine (no-op when disabled).
+// sizes the process-wide log ring (-log-buffer) and span store (-trace-*
+// flags), applies -latency-buckets, registers the build_info and Go runtime
+// gauges, starts the SLO burn-rate engine (-slo) with triggered profiling
+// (-profile-dir) mounted at /v1/profile(s) — captures embed a log-ring
+// black-box snapshot — arms server-side chaos latency when asked, and, when
+// -debug-addr is set, starts the debug endpoint server — the Default
+// registry and DefaultHealth probes behind the request-scoped Middleware, so
+// the debug surface itself has RED metrics and access logs. The returned
+// stop func gracefully shuts the debug server down and stops the SLO engine
+// (no-op when disabled).
 func (f *Flags) Setup(component string) (*slog.Logger, func(context.Context) error) {
 	logger := SetupLogger(f.LogFormat, f.LogLevel).With("component", component)
+	if f.LogBuffer > 0 {
+		SetDefaultLogRing(NewLogRing(f.LogBuffer))
+	} else {
+		SetDefaultLogRing(nil)
+	}
 	if f.TraceBuffer > 0 {
 		SetDefaultSpans(NewSpanStore(f.TraceBuffer, f.TraceSample, f.TraceSlow))
 	} else {
@@ -125,6 +161,9 @@ func (f *Flags) Setup(component string) (*slog.Logger, func(context.Context) err
 		RegisterDebug("GET /v1/profiles", h)
 		RegisterDebug("GET /v1/profiles/{id}/{file}", h)
 	}
+	// The panic-recovery black box: Middleware triggers a capture (profiles +
+	// log snapshot) through this process-wide pointer.
+	SetDefaultCapture(capture)
 
 	sloStop := func() {}
 	if specs, err := ParseSLOSpecs(f.SLO); err != nil {
@@ -162,7 +201,7 @@ func (f *Flags) Setup(component string) (*slog.Logger, func(context.Context) err
 			logger.Error("debug server failed to start", "addr", f.DebugAddr, "err", err)
 		} else {
 			logger.Info("debug endpoints up", "addr", bound,
-				"endpoints", "/metrics /debug/vars /debug/pprof /healthz /readyz /v1/traces /v1/profiles")
+				"endpoints", "/metrics /debug/vars /debug/pprof /healthz /readyz /v1/traces /v1/logs /v1/loglevel /v1/profiles")
 			stop = func(ctx context.Context) error { sloStop(); return shutdown(ctx) }
 		}
 	}

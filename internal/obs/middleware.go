@@ -118,6 +118,11 @@ func MiddlewareSpans(reg *Registry, spans *SpanStore, service string, next http.
 				slog.Error("handler panic", "service", service, "method", r.Method,
 					"path", r.URL.Path, "request_id", id.Trace(),
 					"panic", rec, "stack", string(debug.Stack()))
+				// Crash black box: snapshot profiles + the log ring (which now
+				// ends with the record above) into the capture directory.
+				if c := DefaultCapture(); c != nil {
+					c.TriggerAsync("panic-" + service)
+				}
 			}
 			elapsed := time.Since(start)
 			route := routeLabel(r)

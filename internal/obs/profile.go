@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -36,7 +37,9 @@ type ProfileEntry struct {
 // ProfileCapture writes triggered pprof snapshots into a bounded directory
 // ring. Captures serialise on an internal mutex (the runtime allows one CPU
 // profile at a time) and automatic triggers are rate-limited by Cooldown so
-// a flapping alert cannot fill the disk.
+// a flapping alert cannot fill the disk. Each capture set also embeds a
+// black-box snapshot of the log ring (logs.jsonl) — the alert or panic that
+// triggered the capture ships with the log lines that preceded it.
 type ProfileCapture struct {
 	// Dir is the ring directory (created on first capture).
 	Dir string
@@ -49,12 +52,32 @@ type ProfileCapture struct {
 	Cooldown time.Duration
 	// Logger receives capture outcomes (nil: slog.Default()).
 	Logger *slog.Logger
+	// Logs is the ring snapshotted into each capture set (nil: the
+	// process-wide DefaultLogRing at capture time).
+	Logs *LogRing
 
 	mu        sync.Mutex
 	seq       int
 	lastAuto  time.Time
 	capturing bool
 }
+
+// The process-wide capture target the Middleware panic path triggers;
+// Flags.Setup points it at the -profile-dir ring (nil when disabled).
+var defaultCapture atomic.Pointer[ProfileCapture]
+
+// SetDefaultCapture installs (or, with nil, clears) the capture set that
+// crash black-boxes are written through.
+func SetDefaultCapture(c *ProfileCapture) {
+	if c == nil {
+		defaultCapture.Store(nil)
+		return
+	}
+	defaultCapture.Store(c)
+}
+
+// DefaultCapture returns the process-wide capture target, or nil.
+func DefaultCapture() *ProfileCapture { return defaultCapture.Load() }
 
 func (p *ProfileCapture) logger() *slog.Logger {
 	if p.Logger != nil {
@@ -159,6 +182,20 @@ func (p *ProfileCapture) Capture(reason string) (ProfileEntry, error) {
 			return ProfileEntry{}, fmt.Errorf("obs: write %s profile: %w", prof, err)
 		}
 		entry.Files = append(entry.Files, prof+".pprof")
+	}
+
+	// Black box: the log lines leading up to whatever triggered this capture,
+	// snapshotted next to the profiles they explain.
+	ring := p.Logs
+	if ring == nil {
+		ring = DefaultLogRing()
+	}
+	if ring != nil {
+		if err := ring.SnapshotDir(dir); err != nil {
+			p.logger().Warn("log black-box snapshot failed", "err", err)
+		} else {
+			entry.Files = append(entry.Files, LogSnapshotName)
+		}
 	}
 
 	meta, err := json.MarshalIndent(entry, "", "  ")

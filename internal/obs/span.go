@@ -81,6 +81,9 @@ type SpanTree struct {
 }
 
 // TraceTreeJSON is the /v1/traces/{id} (and /fleet/traces/{id}) payload.
+// Logs carries the log records correlated to the trace: the local ring's
+// matching lines on a daemon, or every daemon's matching lines on the fleet
+// surface.
 type TraceTreeJSON struct {
 	TraceID    string        `json:"trace_id"`
 	Duration   time.Duration `json:"duration_ns"`
@@ -88,6 +91,7 @@ type TraceTreeJSON struct {
 	Error      bool          `json:"error"`
 	KeepReason string        `json:"keep_reason,omitempty"`
 	Spans      []*SpanTree   `json:"spans"`
+	Logs       []LogRecord   `json:"logs,omitempty"`
 }
 
 // BuildSpanTree assembles flat spans (possibly from several daemons) into
@@ -512,6 +516,8 @@ func serveTraceTree(s *SpanStore, w http.ResponseWriter, r *http.Request) {
 		Error:      tr.Error,
 		KeepReason: tr.KeepReason,
 		Spans:      BuildSpanTree(tr.Spans),
+		// The local drill-down: this process's ring lines for the trace.
+		Logs: DefaultLogRing().Query(LogFilter{TraceID: tr.TraceID}),
 	})
 }
 
