@@ -26,6 +26,12 @@
 //	          [-slo availability:99.9,latency:99:250ms] [-profile-dir DIR]
 //	          [-latency-buckets 1ms,5ms,...] [-log-buffer 1024]
 //	          [-retry-max 4] [-breaker-threshold 0.5] [-chaos-seed 0]
+//	          [-shard i/N] [-shard-epoch 1] [-shard-vnodes 128]
+//
+// With -shard i/N the replica is one slice of a consistent-hash fleet: it
+// still tails and Merkle-verifies the whole log but persists only the
+// e2LDs its ring slice owns, pins that slice into the store, and reports it
+// at /v1/shardmap for the gateway (cmd/stalegw) to validate.
 //
 // Every outbound call (CT log tail, CRL fetches) goes through the resilience
 // layer: -retry-max bounds attempts, -breaker-threshold tunes the per-peer
@@ -57,6 +63,7 @@ import (
 	"stalecert/internal/monitor"
 	"stalecert/internal/obs"
 	"stalecert/internal/resil"
+	"stalecert/internal/shard"
 	"stalecert/internal/simtime"
 	"stalecert/internal/staleapi"
 	"stalecert/internal/whois"
@@ -77,6 +84,9 @@ func main() {
 	marker := flag.String("marker", "cloudflaressl.com", "managed-TLS marker SAN suffix")
 	cacheEntries := flag.Int("cache-entries", 1024, "staleness cache capacity")
 	cacheTTL := flag.Duration("cache-ttl", 5*time.Second, "staleness cache TTL")
+	shardFlag := flag.String("shard", "", "ring slice this replica ingests and serves, as i/N (empty = whole keyspace)")
+	shardEpoch := flag.Uint64("shard-epoch", 1, "shard-map epoch (must match the gateway's -epoch)")
+	shardVNodes := flag.Int("shard-vnodes", shard.DefaultVNodes, "virtual nodes per shard on the ring")
 	obsFlags := obs.BindFlags(flag.CommandLine)
 	var rf resil.Flags
 	rf.BindFlags(flag.CommandLine)
@@ -120,12 +130,45 @@ func main() {
 	// attempt spans then carry service="staleapid" in stitched fleet traces,
 	// so a cross-daemon trace reads staleapid → ctlogd.
 	ing := certstore.NewIngester(store, ctlog.NewClientWithOptions(*logURL, nil, rf.Options("staleapid")))
+	var self *shard.Self
+	if *shardFlag != "" {
+		assign, err := shard.ParseAssignment(*shardFlag)
+		if err != nil {
+			logger.Error("bad -shard", "err", err)
+			os.Exit(2)
+		}
+		ring, err := shard.NewRing(assign.Count, *shardVNodes)
+		if err != nil {
+			logger.Error("bad ring shape", "err", err)
+			os.Exit(2)
+		}
+		// The ingester still tails (and Merkle-verifies) the whole log, but
+		// persists only this replica's ring slice; the slice is pinned into
+		// the store so a restart under a different -shard refuses to mix.
+		ing.Keep = shard.KeepFunc(ring, store.PSL(), assign.Index)
+		ing.Shard = &certstore.ShardConfig{
+			Epoch:  *shardEpoch,
+			Index:  assign.Index,
+			Count:  assign.Count,
+			VNodes: *shardVNodes,
+			Hash:   shard.HashName,
+		}
+		self = &shard.Self{
+			Version: shard.MapVersion,
+			Epoch:   *shardEpoch,
+			Hash:    shard.HashName,
+			VNodes:  *shardVNodes,
+			Shard:   assign,
+		}
+		logger.Info("sharded ingest", "shard", assign.String(), "epoch", *shardEpoch, "vnodes", *shardVNodes)
+	}
 	srv := staleapi.NewServer(staleapi.Config{
 		Store:        store,
 		Evidence:     liveEvidence(rf, *whoisAddr, *dnsAddr, *crlURL, *marker, nowDay),
 		Now:          func() simtime.Day { return nowDay },
 		CacheEntries: *cacheEntries,
 		CacheTTL:     *cacheTTL,
+		Shard:        self,
 	})
 	// Evidence failures degrade readiness (200 with a degraded body) rather
 	// than flipping the daemon unready: queries still answer from last-good.

@@ -1,0 +1,107 @@
+// Command stalegw is the stateless query gateway in front of a sharded
+// staleapid fleet. It keeps no certificate state: a consistent-hash shard
+// map (-shards, in ring-index order) tells it which replica owns which e2LD
+// slice, and it routes:
+//
+//	GET /v1/domain/{e2ld}/certs        → the owning shard
+//	GET /v1/domain/{e2ld}/staleness    → the owning shard
+//	GET /v1/cert/{fp}                  → scatter-gather, the hit wins
+//	GET /v1/domains[?prefix=&limit=]   → scatter-merge of every shard's slice
+//	GET /v1/shardmap                   → the gateway's topology document
+//	GET /healthz, /readyz              liveness; readiness = shard quorum
+//
+// Every fan-out leg rides the resilience layer (per-shard circuit breakers
+// on /v1/breakers, -retry-max retries, traced attempts). A dead shard
+// degrades instead of failing: owner-routed queries fall back to the
+// last-good cached response ("degraded": true, X-Stale-Evidence), scatter
+// queries return partial results with X-Missing-Shards, and /readyz reports
+// degraded while at least -quorum shards answer.
+//
+// Usage:
+//
+//	stalegw -shards http://127.0.0.1:9001,http://127.0.0.1:9002 [-addr :8787]
+//	        [-epoch 1] [-vnodes 128] [-quorum 0 (majority)]
+//	        [-probe-interval 2s] [-cache-entries 4096] [-cache-ttl 5s]
+//	        [-debug-addr 127.0.0.1:0] [-retry-max 4] [-breaker-threshold 0.5]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"stalecert/internal/obs"
+	"stalecert/internal/resil"
+	"stalecert/internal/shard"
+	"stalecert/internal/stalegw"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8787", "API listen address")
+	shardList := flag.String("shards", "", "comma-separated shard base URLs in ring-index order (required)")
+	epoch := flag.Uint64("epoch", 1, "shard-map epoch the fleet must agree on")
+	vnodes := flag.Int("vnodes", shard.DefaultVNodes, "virtual nodes per shard on the ring")
+	quorum := flag.Int("quorum", 0, "min live shards for (degraded) readiness; 0 = majority")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "shard liveness probe interval")
+	cacheEntries := flag.Int("cache-entries", 4096, "last-good response cache capacity")
+	cacheTTL := flag.Duration("cache-ttl", 5*time.Second, "last-good response cache TTL")
+	obsFlags := obs.BindFlags(flag.CommandLine)
+	var rf resil.Flags
+	rf.BindFlags(flag.CommandLine)
+	flag.Parse()
+
+	logger, stopDebug := obsFlags.Setup("stalegw")
+	if *shardList == "" {
+		logger.Error("missing required -shards list")
+		os.Exit(2)
+	}
+	var addrs []string
+	for _, a := range strings.Split(*shardList, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+
+	gw, err := stalegw.New(stalegw.Config{
+		Map:          shard.NewMap(*epoch, *vnodes, addrs),
+		Client:       resil.NewHTTPClient(rf.Options("stalegw")),
+		Quorum:       *quorum,
+		CacheEntries: *cacheEntries,
+		CacheTTL:     *cacheTTL,
+	})
+	if err != nil {
+		logger.Error("build gateway", "err", err)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go gw.RunProbes(ctx, *probeInterval)
+
+	handler := obs.Middleware(obs.Default(), "stalegw", gw.Handler())
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
+	logger.Info("serving query gateway", "addr", *addr, "shards", len(addrs), "epoch", *epoch)
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("server failed", "err", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		logger.Info("shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			logger.Error("shutdown", "err", err)
+		}
+		_ = stopDebug(sctx)
+	}
+}

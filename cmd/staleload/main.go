@@ -21,6 +21,12 @@
 //	          [-mode open|closed] [-mix staleness:40,cert:50,getentries:10]
 //	          [-zipf-s 1.1] [-seed 1] [-warmup 0.1] [-timeout 5s]
 //	          [-out .] [-sha auto] [-max-error-rate 0] [-log-buffer 1024]
+//	          [-target-gateway]
+//
+// With -target-gateway the target is a stalegw fleet: the generator reads
+// the gateway's /v1/shardmap and records the topology (gateway: true plus
+// the shard count) in the BENCH config, keeping gateway points distinct
+// from direct single-daemon points in the trajectory.
 //
 // Ops: "staleness" GETs /v1/domain/{e2ld}/staleness and "cert" GETs
 // /v1/cert/{fp} on -target; "getentries" GETs a window of /ct/v1/get-entries
@@ -57,7 +63,8 @@ import (
 )
 
 func main() {
-	target := flag.String("target", "http://127.0.0.1:8786", "staleapid base URL")
+	target := flag.String("target", "http://127.0.0.1:8786", "staleapid (or stalegw) base URL")
+	targetGateway := flag.Bool("target-gateway", false, "the target is a stalegw fleet: record its topology (shard count) in the BENCH config")
 	ctURL := flag.String("ct", "", "ctlogd base URL (required for discovery and the getentries/addchain ops)")
 	scenario := flag.String("scenario", "steady", "scenario name recorded in the BENCH file")
 	qps := flag.Float64("qps", 200, "open-loop target request rate")
@@ -131,6 +138,17 @@ func main() {
 		gitSHA = headSHA()
 	}
 	rep := loadgen.BuildReport(res, *scenario, gitSHA, *mix, *zipfS, corpus.size)
+	if *targetGateway {
+		// Gateway runs are their own trajectory family: record the topology
+		// so a 1-shard and a 3-shard point are never silently compared.
+		shards, terr := gatewayShardCount(ctx, hc, *target)
+		if terr != nil {
+			logger.Error("read gateway topology", "target", *target, "err", terr)
+			os.Exit(1)
+		}
+		rep.Config.Gateway = true
+		rep.Config.Shards = shards
+	}
 	path, err := rep.WriteReport(*outDir)
 	if err != nil {
 		logger.Error("write bench report", "err", err)
@@ -394,6 +412,23 @@ func getJSON(ctx context.Context, hc *http.Client, url string, out any) error {
 		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// gatewayShardCount reads the stalegw topology document and returns the
+// fleet's shard count.
+func gatewayShardCount(ctx context.Context, hc *http.Client, target string) (int, error) {
+	var m struct {
+		Shards []struct {
+			Index int `json:"index"`
+		} `json:"shards"`
+	}
+	if err := getJSON(ctx, hc, target+"/v1/shardmap", &m); err != nil {
+		return 0, err
+	}
+	if len(m.Shards) == 0 {
+		return 0, fmt.Errorf("target %s serves an empty shard map (not a gateway?)", target)
+	}
+	return len(m.Shards), nil
 }
 
 // headSHA resolves the working tree's short commit SHA; "dev" when git is

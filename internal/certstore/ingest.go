@@ -24,6 +24,17 @@ var (
 	mIngestBackoffs = obs.Default().Counter("certstore_ingest_backoffs_total")
 )
 
+// Sharded ingest keeps/skips counters, labelled by the replica's ring slice
+// ("i/N") so a fleet dashboard shows each shard absorbing its share of the
+// log and nothing else.
+func ingestKeptCounter(shard string) *obs.Counter {
+	return obs.Default().Counter("certstore_ingest_kept_total", "shard", shard)
+}
+
+func ingestSkippedCounter(shard string) *obs.Counter {
+	return obs.Default().Counter("certstore_ingest_skipped_total", "shard", shard)
+}
+
 // Ingester incrementally tails one CT log into a Store. The resume position
 // lives in the store's persisted checkpoint, so a restarted process picks up
 // where the previous one stopped instead of re-scraping the log; on resume
@@ -35,10 +46,25 @@ type Ingester struct {
 	Client *ctlog.Client
 	// BatchSize is the get-entries page size (0 = the client default).
 	BatchSize uint64
+	// Keep, when non-nil, filters which certificates this replica persists.
+	// Entries are still fetched and Merkle-verified in full — the checkpoint
+	// advances over every entry — but only certificates Keep accepts reach
+	// the store. A sharded fleet points N ingesters at the same log with
+	// disjoint Keep predicates.
+	Keep func(*x509sim.Certificate) bool
+	// Shard declares which ring slice Keep implements. It is validated
+	// against the store's persisted assignment on the first sync: a store
+	// pinned to one slice refuses ingest under another (or under none), and
+	// a store that already ingested unsharded refuses retroactive pinning.
+	Shard *ShardConfig
 	// lag is the entries behind the head after the last Sync.
 	lag uint64
 	// resumed tracks whether the cross-restart consistency check ran.
 	resumed bool
+	// shardChecked tracks the one-time Shard/store agreement check.
+	shardChecked bool
+	mKept        *obs.Counter
+	mSkipped     *obs.Counter
 }
 
 // NewIngester tails client into store.
@@ -89,11 +115,39 @@ func (ing *Ingester) verifyResume(ctx context.Context, cp Checkpoint, sth ctlog.
 	return nil
 }
 
+// checkShard runs the one-time agreement check between the ingester's
+// declared slice and the store's persisted one — the "validated at ingest
+// time" half of the shard-map contract. A mismatch is permanent for the
+// process, so it is re-reported on every round rather than cached away.
+func (ing *Ingester) checkShard() error {
+	if ing.shardChecked {
+		return nil
+	}
+	if ing.Shard == nil {
+		if sc, ok := ing.Store.ShardConfig(); ok {
+			return fmt.Errorf("certstore: store is pinned to shard %s; refusing unsharded ingest (pass the matching -shard flag)", sc.Label())
+		}
+	} else {
+		if err := ing.Store.EnsureShardConfig(*ing.Shard); err != nil {
+			return err
+		}
+		label := ing.Shard.Label()
+		ing.mKept = ingestKeptCounter(label)
+		ing.mSkipped = ingestSkippedCounter(label)
+	}
+	ing.shardChecked = true
+	return nil
+}
+
 // Sync performs one ingest round: scrape from the checkpoint to the current
 // head, append the certificates, persist the new checkpoint. It returns the
 // number of new certificates stored (after dedup).
 func (ing *Ingester) Sync(ctx context.Context) (int, error) {
 	mIngestRounds.Inc()
+	if err := ing.checkShard(); err != nil {
+		mIngestErrors.Inc()
+		return 0, err
+	}
 	cp, haveCP := ing.Store.Checkpoint()
 	if haveCP && !ing.resumed {
 		sth, err := ing.Client.GetSTH(ctx)
@@ -124,6 +178,10 @@ func (ing *Ingester) Sync(ctx context.Context) (int, error) {
 // (and whose STH it already verified) are persisted with the checkpoint
 // advanced past them.
 func (ing *Ingester) IngestEntries(entries []ctlog.Entry, sth ctlog.SignedTreeHead) error {
+	if err := ing.checkShard(); err != nil {
+		mIngestErrors.Inc()
+		return err
+	}
 	_, err := ing.ingest(entries, sth)
 	return err
 }
@@ -132,11 +190,21 @@ func (ing *Ingester) ingest(entries []ctlog.Entry, sth ctlog.SignedTreeHead) (in
 	cp, _ := ing.Store.Checkpoint()
 	next := cp.NextIndex
 	certs := make([]*x509sim.Certificate, 0, len(entries))
+	var kept, skipped uint64
 	for _, e := range entries {
-		certs = append(certs, e.Cert)
+		if ing.Keep != nil && !ing.Keep(e.Cert) {
+			skipped++
+		} else {
+			certs = append(certs, e.Cert)
+			kept++
+		}
 		if e.Index >= next {
 			next = e.Index + 1
 		}
+	}
+	if ing.mKept != nil {
+		ing.mKept.Add(kept)
+		ing.mSkipped.Add(skipped)
 	}
 	added, err := ing.Store.Append(certs)
 	if err != nil {

@@ -108,7 +108,74 @@ type Store struct {
 	activeSz int64
 	certs    []*x509sim.Certificate // insertion order, shared across snapshots
 	cp       *Checkpoint
+	shardCfg *ShardConfig
 	closed   bool
+}
+
+// shardFileName persists the fleet-slice assignment beside MANIFEST and
+// CHECKPOINT.
+const shardFileName = "SHARD"
+
+// ShardConfig is the persisted fleet-slice assignment of a sharded store:
+// which ring slice this store's certificates are, and the ring parameters
+// the slice was cut with. A store ingested as one slice must never be
+// re-tailed as another — the data on disk would be the wrong subset — so the
+// assignment is written once and every later ingester validates against it
+// (see Ingester.Sync).
+type ShardConfig struct {
+	Epoch  uint64 `json:"epoch"`
+	Index  int    `json:"index"`
+	Count  int    `json:"count"`
+	VNodes int    `json:"vnodes"`
+	Hash   string `json:"hash"`
+}
+
+// Label renders the metric label form "i/N".
+func (sc ShardConfig) Label() string { return fmt.Sprintf("%d/%d", sc.Index, sc.Count) }
+
+// ShardConfig returns the persisted slice assignment, if the store was ever
+// ingested sharded.
+func (s *Store) ShardConfig() (ShardConfig, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.shardCfg == nil {
+		return ShardConfig{}, false
+	}
+	return *s.shardCfg, true
+}
+
+// EnsureShardConfig pins the store to one ring slice. The first call on a
+// store that has never held certificates persists the assignment; later
+// calls (and calls from restarted ingesters) succeed only when the
+// assignment is identical. Attaching a slice to a store that already holds
+// unsharded data is refused — the data would not be the claimed subset.
+func (s *Store) EnsureShardConfig(sc ShardConfig) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.shardCfg != nil {
+		if *s.shardCfg != sc {
+			return fmt.Errorf("certstore: store %s is pinned to shard %s (epoch %d, %d vnodes, %s); refusing %s (epoch %d, %d vnodes, %s)",
+				s.dir, s.shardCfg.Label(), s.shardCfg.Epoch, s.shardCfg.VNodes, s.shardCfg.Hash,
+				sc.Label(), sc.Epoch, sc.VNodes, sc.Hash)
+		}
+		return nil
+	}
+	if len(s.certs) > 0 {
+		return fmt.Errorf("certstore: store %s holds %d certificates ingested unsharded; cannot retroactively pin it to shard %s",
+			s.dir, len(s.certs), sc.Label())
+	}
+	raw, err := json.MarshalIndent(sc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(filepath.Join(s.dir, shardFileName), append(raw, '\n')); err != nil {
+		return err
+	}
+	s.shardCfg = &sc
+	return nil
 }
 
 // ErrClosed is returned by writes on a closed store.
@@ -224,6 +291,15 @@ func Open(opts Options) (*Store, error) {
 		}
 		s.cp = &cp
 		mCheckpointN.Set(float64(cp.NextIndex))
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+	if raw, err := os.ReadFile(filepath.Join(opts.Dir, shardFileName)); err == nil {
+		var sc ShardConfig
+		if err := json.Unmarshal(raw, &sc); err != nil {
+			return nil, fmt.Errorf("certstore: corrupt shard assignment: %v", err)
+		}
+		s.shardCfg = &sc
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, err
 	}

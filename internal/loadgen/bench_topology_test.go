@@ -1,0 +1,68 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// The topology fields (gateway, shards) are additive on schema v1: a BENCH
+// file written before sharding existed must still read and validate, and a
+// gateway point must round-trip its topology.
+func TestBenchConfigTopologyAdditive(t *testing.T) {
+	legacy := `{
+  "schema_version": 1,
+  "scenario": "steady",
+  "git_sha": "a8636b0",
+  "timestamp": "2026-08-01T00:00:00Z",
+  "config": {"mode": "open", "target_qps": 200, "workers": 16, "duration_s": 15,
+             "seed": 1, "zipf_s": 1.1, "zipf_n": 120, "mix": "staleness:40,cert:50,getentries:10"},
+  "totals": {"requests": 10, "errors": 0, "error_rate": 0, "bytes": 100, "qps": 1,
+             "latency": {"p50_ms": 1, "p90_ms": 1, "p99_ms": 1, "p999_ms": 1, "max_ms": 1, "mean_ms": 1}},
+  "endpoints": {"staleness": {"requests": 10, "errors": 0, "error_rate": 0, "bytes": 100, "qps": 1,
+             "latency": {"p50_ms": 1, "p90_ms": 1, "p99_ms": 1, "p999_ms": 1, "max_ms": 1, "mean_ms": 1}}},
+  "dropped": 0
+}`
+	path := filepath.Join(t.TempDir(), "BENCH_steady_a8636b0.json")
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadReport(path)
+	if err != nil {
+		t.Fatalf("pre-sharding BENCH file no longer reads: %v", err)
+	}
+	if rep.Config.Gateway || rep.Config.Shards != 0 {
+		t.Fatalf("legacy config grew topology: %+v", rep.Config)
+	}
+
+	// A gateway point keeps its topology through write/read, and a direct
+	// point's JSON stays free of the new keys (byte-stable configs).
+	rep.Config.Gateway = true
+	rep.Config.Shards = 3
+	rep.Timestamp = time.Now().UTC()
+	out, err := rep.WriteReport(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Config.Gateway || back.Config.Shards != 3 {
+		t.Fatalf("topology lost on round-trip: %+v", back.Config)
+	}
+
+	direct, err := json.Marshal(BenchConfig{Mode: "open"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"gateway", "shards"} {
+		var m map[string]any
+		_ = json.Unmarshal(direct, &m)
+		if _, present := m[key]; present {
+			t.Errorf("direct run config serializes %q; omitempty broken", key)
+		}
+	}
+}

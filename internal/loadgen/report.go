@@ -45,6 +45,13 @@ type BenchConfig struct {
 	ZipfS     float64 `json:"zipf_s"`
 	ZipfN     int     `json:"zipf_n"`
 	Mix       string  `json:"mix"`
+	// Gateway/Shards record the target topology when the run went through a
+	// stalegw fleet rather than a single staleapid. Both are additive,
+	// omitempty fields: schema v1 files written before sharding existed
+	// still parse, and direct single-daemon runs keep byte-identical
+	// configs. A gateway point and a direct point are NOT comparable.
+	Gateway bool `json:"gateway,omitempty"`
+	Shards  int  `json:"shards,omitempty"`
 }
 
 // BenchReport is the BENCH_<scenario>_<git-sha>.json document: one point on

@@ -1,0 +1,11 @@
+package shard
+
+// Pinned placements for TestRingPlacementPinned (ring shape 4 shards x 128
+// vnodes). If a deliberate hash change invalidates these, bump HashName and
+// MapVersion too — existing stores and fleets must not silently re-partition.
+const (
+	ringPin0 = 0
+	ringPin1 = 0
+	ringPin2 = 3
+	ringPin3 = 3
+)

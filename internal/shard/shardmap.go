@@ -1,0 +1,146 @@
+package shard
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MapVersion identifies the shard-map document layout; bump on incompatible
+// change so mixed fleets refuse to interoperate instead of mis-routing.
+const MapVersion = 1
+
+// Assignment is one replica's slice of the ring: shard Index of Count.
+type Assignment struct {
+	Index int `json:"index"`
+	Count int `json:"count"`
+}
+
+// String renders the canonical "i/N" form (the -shard flag syntax).
+func (a Assignment) String() string { return fmt.Sprintf("%d/%d", a.Index, a.Count) }
+
+// Validate checks the assignment names a real slice.
+func (a Assignment) Validate() error {
+	if a.Count <= 0 {
+		return fmt.Errorf("shard: assignment %s: count must be >= 1", a)
+	}
+	if a.Index < 0 || a.Index >= a.Count {
+		return fmt.Errorf("shard: assignment %s: index out of range [0,%d)", a, a.Count)
+	}
+	return nil
+}
+
+// ParseAssignment parses the -shard flag's "i/N" form.
+func ParseAssignment(s string) (Assignment, error) {
+	is, ns, ok := strings.Cut(s, "/")
+	if !ok {
+		return Assignment{}, fmt.Errorf("shard: bad assignment %q (want i/N, e.g. 0/3)", s)
+	}
+	i, err1 := strconv.Atoi(strings.TrimSpace(is))
+	n, err2 := strconv.Atoi(strings.TrimSpace(ns))
+	if err1 != nil || err2 != nil {
+		return Assignment{}, fmt.Errorf("shard: bad assignment %q (want i/N, e.g. 0/3)", s)
+	}
+	a := Assignment{Index: i, Count: n}
+	return a, a.Validate()
+}
+
+// Member is one shard's entry in the fleet map. Addr is the shard's API base
+// URL; replicas serving their own /v1/shardmap omit it.
+type Member struct {
+	Index int    `json:"index"`
+	Addr  string `json:"addr,omitempty"`
+}
+
+// Map is the versioned, epoch-numbered shard-map document. The gateway
+// serves its configured map at /v1/shardmap; each staleapid serves a Self
+// view of its own slice. Two processes interoperate only when version,
+// epoch, hash and vnodes all agree — the gateway validates every shard's
+// self-report against its map and refuses to route to a replica holding a
+// different ring.
+type Map struct {
+	Version int      `json:"version"`
+	Epoch   uint64   `json:"epoch"`
+	Hash    string   `json:"hash"`
+	VNodes  int      `json:"vnodes"`
+	Shards  []Member `json:"shards"`
+}
+
+// NewMap builds an epoch's map over the given shard base URLs, in ring-index
+// order.
+func NewMap(epoch uint64, vnodes int, addrs []string) Map {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	m := Map{Version: MapVersion, Epoch: epoch, Hash: HashName, VNodes: vnodes}
+	for i, a := range addrs {
+		m.Shards = append(m.Shards, Member{Index: i, Addr: a})
+	}
+	return m
+}
+
+// Validate checks the document is a coherent ring description: known version
+// and hash, positive vnodes, and members covering exactly indexes 0..N-1.
+func (m Map) Validate() error {
+	if m.Version != MapVersion {
+		return fmt.Errorf("shard: map version %d (want %d)", m.Version, MapVersion)
+	}
+	if m.Hash != HashName {
+		return fmt.Errorf("shard: map hash %q (want %q)", m.Hash, HashName)
+	}
+	if m.VNodes <= 0 {
+		return fmt.Errorf("shard: map vnodes %d (want > 0)", m.VNodes)
+	}
+	if len(m.Shards) == 0 {
+		return fmt.Errorf("shard: map has no shards")
+	}
+	seen := make([]bool, len(m.Shards))
+	for _, sh := range m.Shards {
+		if sh.Index < 0 || sh.Index >= len(m.Shards) || seen[sh.Index] {
+			return fmt.Errorf("shard: map indexes are not exactly 0..%d", len(m.Shards)-1)
+		}
+		seen[sh.Index] = true
+	}
+	return nil
+}
+
+// Ring derives the map's consistent-hash ring.
+func (m Map) Ring() (*Ring, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return NewRing(len(m.Shards), m.VNodes)
+}
+
+// Self is the shard-map view one replica serves at /v1/shardmap: the ring
+// parameters it was started with, its own slice, and its live certificate
+// count (so an operator — or a CI smoke — can check that the fleet's slices
+// sum to the log without overlap).
+type Self struct {
+	Version int        `json:"version"`
+	Epoch   uint64     `json:"epoch"`
+	Hash    string     `json:"hash"`
+	VNodes  int        `json:"vnodes"`
+	Shard   Assignment `json:"shard"`
+	Certs   int        `json:"certs"`
+}
+
+// Agrees reports whether a replica's self-report is consistent with this map
+// placing it at index: same document version, epoch, hash and vnodes, and
+// the replica believes it owns exactly that slice of a same-sized fleet.
+func (m Map) Agrees(index int, s Self) error {
+	switch {
+	case s.Version != m.Version:
+		return fmt.Errorf("shard %d: map version %d (gateway has %d)", index, s.Version, m.Version)
+	case s.Epoch != m.Epoch:
+		return fmt.Errorf("shard %d: map epoch %d (gateway has %d)", index, s.Epoch, m.Epoch)
+	case s.Hash != m.Hash:
+		return fmt.Errorf("shard %d: ring hash %q (gateway has %q)", index, s.Hash, m.Hash)
+	case s.VNodes != m.VNodes:
+		return fmt.Errorf("shard %d: %d vnodes (gateway has %d)", index, s.VNodes, m.VNodes)
+	case s.Shard.Index != index || s.Shard.Count != len(m.Shards):
+		return fmt.Errorf("shard %d: replica claims slice %s (gateway expects %d/%d)",
+			index, s.Shard, index, len(m.Shards))
+	}
+	return nil
+}

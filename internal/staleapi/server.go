@@ -12,6 +12,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -19,6 +21,7 @@ import (
 	"stalecert/internal/core"
 	"stalecert/internal/dnsname"
 	"stalecert/internal/obs"
+	"stalecert/internal/shard"
 	"stalecert/internal/simtime"
 	"stalecert/internal/x509sim"
 )
@@ -45,6 +48,7 @@ type Server struct {
 	now      func() simtime.Day
 	cache    *Cache
 	health   *obs.Health
+	shard    shard.Self
 
 	// evMu guards evErr, the most recent evidence outcome backing
 	// EvidenceProbe.
@@ -66,6 +70,10 @@ type Config struct {
 	// Health backs /healthz and /readyz on the API listener; defaults to
 	// obs.DefaultHealth() so the daemon's probes show on both ports.
 	Health *obs.Health
+	// Shard is this replica's ring slice, served at /v1/shardmap with the
+	// live certificate count filled in per request. Nil means the whole
+	// keyspace: the default 0/1 assignment an unsharded daemon reports.
+	Shard *shard.Self
 }
 
 // NewServer builds the API server.
@@ -85,12 +93,21 @@ func NewServer(cfg Config) *Server {
 	if cfg.Health == nil {
 		cfg.Health = obs.DefaultHealth()
 	}
+	if cfg.Shard == nil {
+		cfg.Shard = &shard.Self{
+			Version: shard.MapVersion,
+			Hash:    shard.HashName,
+			VNodes:  shard.DefaultVNodes,
+			Shard:   shard.Assignment{Index: 0, Count: 1},
+		}
+	}
 	return &Server{
 		store:    cfg.Store,
 		evidence: cfg.Evidence,
 		now:      cfg.Now,
 		cache:    NewCache(cfg.CacheEntries, cfg.CacheTTL),
 		health:   cfg.Health,
+		shard:    *cfg.Shard,
 	}
 }
 
@@ -105,6 +122,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/cert/{fp}", s.handleCert)
 	mux.HandleFunc("GET /v1/domain/{e2ld}/certs", s.handleDomainCerts)
 	mux.HandleFunc("GET /v1/domain/{e2ld}/staleness", s.handleStaleness)
+	mux.HandleFunc("GET /v1/domains", s.handleDomains)
+	mux.HandleFunc("GET /v1/shardmap", s.handleShardmap)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "ok uptime=%s\n", s.health.Uptime().Round(time.Millisecond))
@@ -213,7 +232,52 @@ func (s *Server) handleCert(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, errorJSON{Error: "unknown fingerprint"})
 		return
 	}
-	writeJSON(w, http.StatusOK, certJSON(cert))
+	// Cache under the canonical full fingerprint, never the request's own
+	// spelling: the 16-hex short form and the 64-hex full form of one
+	// certificate must share a single entry, not populate two.
+	v, _, _ := s.cache.Do("cert:"+cert.Fingerprint().Hex(), func() (any, error) {
+		return certJSON(cert), nil
+	})
+	writeJSON(w, http.StatusOK, v.(CertJSON))
+}
+
+// DomainsResponse is the /v1/domains payload: the indexed e2LDs matching the
+// optional ?prefix= filter, truncated at ?limit= (Total counts all matches,
+// so a caller can see the truncation). The gateway's scatter-merge endpoint
+// is built on this.
+type DomainsResponse struct {
+	Domains []string `json:"domains"`
+	Total   int      `json:"total"`
+}
+
+func (s *Server) handleDomains(w http.ResponseWriter, r *http.Request) {
+	prefix := dnsname.Canonical(r.URL.Query().Get("prefix"))
+	limit := 100
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n <= 0 {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad limit"})
+			return
+		}
+		limit = min(n, 10000)
+	}
+	resp := DomainsResponse{Domains: []string{}}
+	for _, d := range s.store.Domains() {
+		if !strings.HasPrefix(d, prefix) {
+			continue
+		}
+		resp.Total++
+		if len(resp.Domains) < limit {
+			resp.Domains = append(resp.Domains, d)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleShardmap(w http.ResponseWriter, _ *http.Request) {
+	self := s.shard
+	self.Certs = s.store.Len()
+	writeJSON(w, http.StatusOK, self)
 }
 
 // domainParam canonicalises and validates the e2LD path segment.

@@ -1,0 +1,529 @@
+// Package stalegw is the stateless query gateway in front of a sharded
+// staleapid fleet. It holds no certificate state of its own: a versioned
+// shard.Map tells it which replica owns which ring slice, and every query is
+// either owner-routed (domain endpoints — the e2LD names exactly one shard)
+// or scatter-gathered (fingerprint and listing endpoints — the owner cannot
+// be derived from the request alone).
+//
+// Degradation is graceful on both paths. Owner-routed queries whose shard is
+// down are answered from the gateway's last-good cache, marked
+// "degraded": true with X-Stale-Evidence and X-Missing-Shards headers.
+// Scatter-gather queries return partial results over the live shards, again
+// marked degraded with the missing shard indexes, instead of failing the
+// whole query because one replica died. Readiness is quorum-based: all
+// shards up → ready, at least Quorum up → degraded (200), below quorum →
+// unready (503).
+package stalegw
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"stalecert/internal/dnsname"
+	"stalecert/internal/obs"
+	"stalecert/internal/shard"
+	"stalecert/internal/staleapi"
+	"stalecert/internal/x509sim"
+)
+
+// MissingShardsHeader lists the ring indexes a degraded response is missing
+// data from, comma-separated.
+const MissingShardsHeader = "X-Missing-Shards"
+
+// maxShardBody bounds how much of one shard response the gateway buffers.
+const maxShardBody = 8 << 20
+
+var (
+	mFanouts     = obs.Default().Counter("stalegw_fanouts_total")
+	mPartial     = obs.Default().Counter("stalegw_partial_results_total")
+	mStaleServed = obs.Default().Counter("stalegw_stale_served_total")
+)
+
+// Config assembles a Gateway.
+type Config struct {
+	// Map is the fleet topology: every member must carry its API base URL.
+	Map shard.Map
+	// Client performs shard calls. Wire a resil-instrumented client so each
+	// fan-out leg gets per-shard circuit breaking, retries and trace spans;
+	// nil falls back to http.DefaultClient (tests only).
+	Client *http.Client
+	// Quorum is the minimum live shards for degraded readiness (default
+	// majority, n/2+1). Below it /readyz reports 503.
+	Quorum int
+	// CacheEntries/CacheTTL size the last-good response cache backing
+	// serve-stale degradation (defaults 4096, 5s).
+	CacheEntries int
+	CacheTTL     time.Duration
+	// Health receives the shard-quorum probe (default obs.DefaultHealth()).
+	Health *obs.Health
+}
+
+// Gateway routes /v1 queries to the owning shards.
+type Gateway struct {
+	m      shard.Map
+	ring   *shard.Ring
+	addrs  []string
+	client *http.Client
+	cache  *staleapi.Cache
+	health *obs.Health
+	quorum int
+
+	mShardReq []*obs.Counter
+	mShardErr []*obs.Counter
+	gShardUp  []*obs.Gauge
+
+	// Probe state: per-shard liveness from the last probe round.
+	probeMu   sync.Mutex
+	probed    bool
+	shardErrs []error
+}
+
+// New validates the map and builds the gateway.
+func New(cfg Config) (*Gateway, error) {
+	ring, err := cfg.Map.Ring()
+	if err != nil {
+		return nil, err
+	}
+	addrs := make([]string, len(cfg.Map.Shards))
+	for _, m := range cfg.Map.Shards {
+		if m.Addr == "" {
+			return nil, fmt.Errorf("stalegw: shard %d has no address", m.Index)
+		}
+		addrs[m.Index] = strings.TrimRight(m.Addr, "/")
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	if cfg.Quorum <= 0 {
+		cfg.Quorum = len(addrs)/2 + 1
+	}
+	if cfg.Quorum > len(addrs) {
+		return nil, fmt.Errorf("stalegw: quorum %d exceeds %d shards", cfg.Quorum, len(addrs))
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 4096
+	}
+	if cfg.CacheTTL == 0 {
+		cfg.CacheTTL = 5 * time.Second
+	}
+	if cfg.Health == nil {
+		cfg.Health = obs.DefaultHealth()
+	}
+	g := &Gateway{
+		m:         cfg.Map,
+		ring:      ring,
+		addrs:     addrs,
+		client:    cfg.Client,
+		cache:     staleapi.NewCache(cfg.CacheEntries, cfg.CacheTTL),
+		health:    cfg.Health,
+		quorum:    cfg.Quorum,
+		shardErrs: make([]error, len(addrs)),
+	}
+	for i := range addrs {
+		label := strconv.Itoa(i)
+		g.mShardReq = append(g.mShardReq, obs.Default().Counter("stalegw_shard_requests_total", "shard", label))
+		g.mShardErr = append(g.mShardErr, obs.Default().Counter("stalegw_shard_errors_total", "shard", label))
+		g.gShardUp = append(g.gShardUp, obs.Default().Gauge("stalegw_shard_up", "shard", label))
+	}
+	g.health.Register("shard-quorum", g.QuorumProbe)
+	return g, nil
+}
+
+// Cache exposes the last-good response cache (tests shrink its TTL).
+func (g *Gateway) Cache() *staleapi.Cache { return g.cache }
+
+// Handler returns the gateway mux. Wrap it in obs.Middleware for RED
+// metrics, request IDs and trace propagation into the fan-out legs.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/domain/{e2ld}/certs", g.handleOwnerRouted)
+	mux.HandleFunc("GET /v1/domain/{e2ld}/staleness", g.handleOwnerRouted)
+	mux.HandleFunc("GET /v1/cert/{fp}", g.handleCert)
+	mux.HandleFunc("GET /v1/domains", g.handleDomains)
+	mux.HandleFunc("GET /v1/shardmap", g.handleShardmap)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "ok uptime=%s\n", g.health.Uptime().Round(time.Millisecond))
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+		defer cancel()
+		obs.WriteReadyz(w, g.health.Check(ctx))
+	})
+	return mux
+}
+
+// result is one buffered shard response, the unit the last-good cache holds.
+type result struct {
+	status int
+	ctype  string
+	body   []byte
+}
+
+type errorJSON struct {
+	Error         string `json:"error"`
+	MissingShards []int  `json:"missing_shards,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (g *Gateway) writeResult(w http.ResponseWriter, res result) {
+	if res.ctype != "" {
+		w.Header().Set("Content-Type", res.ctype)
+	}
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}
+
+// get performs one raw shard call (no per-shard metrics — probes use it too).
+func (g *Gateway) get(ctx context.Context, idx int, pathq string) (result, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, g.addrs[idx]+pathq, nil)
+	if err != nil {
+		return result{}, err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return result{}, fmt.Errorf("shard %d: %w", idx, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxShardBody))
+	if err != nil {
+		return result{}, fmt.Errorf("shard %d: read body: %w", idx, err)
+	}
+	return result{status: resp.StatusCode, ctype: resp.Header.Get("Content-Type"), body: body}, nil
+}
+
+// fetch is one counted query leg. A 5xx from the shard (after the resilient
+// client's own retries) counts as a leg failure, like a transport error.
+func (g *Gateway) fetch(ctx context.Context, idx int, pathq string) (result, error) {
+	g.mShardReq[idx].Inc()
+	res, err := g.get(ctx, idx, pathq)
+	if err == nil && res.status >= 500 {
+		err = fmt.Errorf("shard %d: status %d", idx, res.status)
+	}
+	if err != nil {
+		g.mShardErr[idx].Inc()
+		return result{}, err
+	}
+	return res, nil
+}
+
+// missingHeader formats ring indexes for MissingShardsHeader.
+func missingHeader(missing []int) string {
+	parts := make([]string, len(missing))
+	for i, m := range missing {
+		parts[i] = strconv.Itoa(m)
+	}
+	return strings.Join(parts, ",")
+}
+
+// markDegraded rewrites a cached JSON body as a degraded verdict: the data
+// is last-good, not live, and the payload says so exactly like a staleapid
+// serving stale evidence would.
+func markDegraded(res result, age time.Duration) result {
+	var m map[string]any
+	if json.Unmarshal(res.body, &m) != nil {
+		return res
+	}
+	m["degraded"] = true
+	m["evidence_age"] = age.Round(time.Millisecond).String()
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return res
+	}
+	res.body = append(b, '\n')
+	return res
+}
+
+// handleOwnerRouted proxies a domain endpoint to the one shard owning the
+// e2LD, falling back to the last-good cached response when that shard is
+// down.
+func (g *Gateway) handleOwnerRouted(w http.ResponseWriter, r *http.Request) {
+	domain := dnsname.Canonical(r.PathValue("e2ld"))
+	if err := dnsname.Check(domain, false); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("bad domain: %v", err)})
+		return
+	}
+	idx := g.ring.Lookup(shard.KeyForDomain(domain))
+	uri := r.URL.RequestURI()
+	v, info, err := g.cache.Do(uri, func() (any, error) {
+		res, ferr := g.fetch(r.Context(), idx, uri)
+		if ferr != nil {
+			return nil, ferr
+		}
+		return res, nil
+	})
+	if err != nil {
+		w.Header().Set(MissingShardsHeader, strconv.Itoa(idx))
+		writeJSON(w, http.StatusBadGateway, errorJSON{Error: err.Error(), MissingShards: []int{idx}})
+		return
+	}
+	res := v.(result)
+	if info.Stale {
+		mStaleServed.Inc()
+		res = markDegraded(res, info.Age)
+		w.Header().Set(MissingShardsHeader, strconv.Itoa(idx))
+		w.Header().Set(obs.StaleEvidenceHeader,
+			fmt.Sprintf("shard:%d age=%s", idx, info.Age.Round(time.Millisecond)))
+	}
+	g.writeResult(w, res)
+}
+
+// leg is one scatter-gather response.
+type leg struct {
+	idx int
+	res result
+	err error
+}
+
+// scatter queries every shard in parallel. Each leg rides the resilient
+// client, so it carries its own trace span, retries and breaker accounting.
+func (g *Gateway) scatter(ctx context.Context, pathq string) []leg {
+	mFanouts.Inc()
+	legs := make([]leg, len(g.addrs))
+	var wg sync.WaitGroup
+	for i := range g.addrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := g.fetch(ctx, i, pathq)
+			legs[i] = leg{idx: i, res: res, err: err}
+		}(i)
+	}
+	wg.Wait()
+	return legs
+}
+
+// handleCert scatter-gathers a fingerprint lookup: the fingerprint alone
+// cannot recover the owning e2LD, so every shard is asked and the hit wins.
+// A clean miss on every live shard is an authoritative 404 only when no
+// shard was missing; otherwise the answer may live on the dead replica.
+func (g *Gateway) handleCert(w http.ResponseWriter, r *http.Request) {
+	fpRaw := r.PathValue("fp")
+	if _, _, err := x509sim.ParseFingerprint(fpRaw); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return
+	}
+	// Cache under the normalized fingerprint identity, so the 16-hex short
+	// and 64-hex full spellings of one certificate share one entry.
+	key := "cert:" + shard.KeyForFingerprint(fpRaw)
+	var missing []int
+	v, info, err := g.cache.Do(key, func() (any, error) {
+		legs := g.scatter(r.Context(), r.URL.RequestURI())
+		var found *result
+		for _, l := range legs {
+			if l.err != nil {
+				missing = append(missing, l.idx)
+				continue
+			}
+			if l.res.status == http.StatusOK && found == nil {
+				res := l.res
+				found = &res
+			}
+		}
+		if found != nil {
+			return *found, nil
+		}
+		if len(missing) > 0 {
+			return nil, fmt.Errorf("fingerprint not found on %d live shards; %d unreachable", len(g.addrs)-len(missing), len(missing))
+		}
+		return result{status: http.StatusNotFound, ctype: "application/json; charset=utf-8",
+			body: []byte("{\n  \"error\": \"unknown fingerprint\"\n}\n")}, nil
+	})
+	if err != nil {
+		mPartial.Inc()
+		w.Header().Set(MissingShardsHeader, missingHeader(missing))
+		writeJSON(w, http.StatusBadGateway, errorJSON{Error: err.Error(), MissingShards: missing})
+		return
+	}
+	res := v.(result)
+	if info.Stale {
+		mStaleServed.Inc()
+		if len(missing) > 0 {
+			w.Header().Set(MissingShardsHeader, missingHeader(missing))
+		}
+		w.Header().Set(obs.StaleEvidenceHeader,
+			fmt.Sprintf("cert:%s age=%s", fpRaw, info.Age.Round(time.Millisecond)))
+		res = markDegraded(res, info.Age)
+	}
+	g.writeResult(w, res)
+}
+
+// DomainsResponse is the gateway's merged /v1/domains payload: the shards'
+// listings unioned, plus the degradation markers partial results carry.
+type DomainsResponse struct {
+	Domains       []string `json:"domains"`
+	Total         int      `json:"total"`
+	Degraded      bool     `json:"degraded,omitempty"`
+	MissingShards []int    `json:"missing_shards,omitempty"`
+}
+
+// handleDomains scatter-merges the per-shard listings. Dead shards degrade
+// the result (their slice of the namespace is simply absent, and the
+// response says so) rather than failing it — unless every shard is dead.
+func (g *Gateway) handleDomains(w http.ResponseWriter, r *http.Request) {
+	limit := 100
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n <= 0 {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad limit"})
+			return
+		}
+		limit = min(n, 10000)
+	}
+	legs := g.scatter(r.Context(), r.URL.RequestURI())
+	merged := DomainsResponse{Domains: []string{}}
+	for _, l := range legs {
+		if l.err != nil {
+			merged.MissingShards = append(merged.MissingShards, l.idx)
+			continue
+		}
+		var dr staleapi.DomainsResponse
+		if uerr := json.Unmarshal(l.res.body, &dr); uerr != nil || l.res.status != http.StatusOK {
+			merged.MissingShards = append(merged.MissingShards, l.idx)
+			continue
+		}
+		merged.Total += dr.Total
+		merged.Domains = append(merged.Domains, dr.Domains...)
+	}
+	if len(merged.MissingShards) == len(g.addrs) {
+		writeJSON(w, http.StatusBadGateway, errorJSON{Error: "all shards unreachable", MissingShards: merged.MissingShards})
+		return
+	}
+	sort.Strings(merged.Domains)
+	merged.Domains = dedupeSorted(merged.Domains)
+	if len(merged.Domains) > limit {
+		merged.Domains = merged.Domains[:limit]
+	}
+	if len(merged.MissingShards) > 0 {
+		mPartial.Inc()
+		merged.Degraded = true
+		w.Header().Set(MissingShardsHeader, missingHeader(merged.MissingShards))
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// dedupeSorted collapses adjacent duplicates (a multi-e2LD certificate is
+// deliberately stored on several shards; its domains are not).
+func dedupeSorted(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || s[i-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// handleShardmap serves the gateway's full topology document — the fleet
+// view, where each staleapid serves only its own slice.
+func (g *Gateway) handleShardmap(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, g.m)
+}
+
+// probeShard checks one replica is ready AND agrees with the gateway's map:
+// a live shard holding a different ring (wrong epoch, vnodes, slice...)
+// would silently mis-route, so it counts as down.
+func (g *Gateway) probeShard(ctx context.Context, idx int) error {
+	res, err := g.get(ctx, idx, "/readyz")
+	if err != nil {
+		return err
+	}
+	if res.status != http.StatusOK {
+		return fmt.Errorf("shard %d: readyz status %d", idx, res.status)
+	}
+	res, err = g.get(ctx, idx, "/v1/shardmap")
+	if err != nil {
+		return err
+	}
+	if res.status != http.StatusOK {
+		return fmt.Errorf("shard %d: shardmap status %d", idx, res.status)
+	}
+	var self shard.Self
+	if err := json.Unmarshal(res.body, &self); err != nil {
+		return fmt.Errorf("shard %d: bad shardmap document: %w", idx, err)
+	}
+	return g.m.Agrees(idx, self)
+}
+
+// ProbeOnce runs one probe round over every shard, updating the liveness
+// state behind QuorumProbe and the stalegw_shard_up gauges.
+func (g *Gateway) ProbeOnce(ctx context.Context) {
+	errs := make([]error, len(g.addrs))
+	var wg sync.WaitGroup
+	for i := range g.addrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = g.probeShard(ctx, i)
+		}(i)
+	}
+	wg.Wait()
+	g.probeMu.Lock()
+	g.probed = true
+	copy(g.shardErrs, errs)
+	g.probeMu.Unlock()
+	for i, err := range errs {
+		if err == nil {
+			g.gShardUp[i].Set(1)
+		} else {
+			g.gShardUp[i].Set(0)
+		}
+	}
+}
+
+// RunProbes probes every interval until the context is cancelled; the first
+// round runs immediately so readiness settles at startup.
+func (g *Gateway) RunProbes(ctx context.Context, interval time.Duration) {
+	for {
+		g.ProbeOnce(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(interval):
+		}
+	}
+}
+
+// QuorumProbe is the gateway's readiness: all shards up → ready; at least
+// the quorum up → degraded (200 — partial answers still serve); below
+// quorum, or before the first probe round, → unready (503).
+func (g *Gateway) QuorumProbe(context.Context) error {
+	g.probeMu.Lock()
+	defer g.probeMu.Unlock()
+	if !g.probed {
+		return errors.New("no shard probe round completed yet")
+	}
+	up := 0
+	var firstDown error
+	for _, err := range g.shardErrs {
+		if err == nil {
+			up++
+		} else if firstDown == nil {
+			firstDown = err
+		}
+	}
+	switch {
+	case up == len(g.shardErrs):
+		return nil
+	case up >= g.quorum:
+		return obs.Degraded(fmt.Errorf("%d/%d shards up (quorum %d): %v", up, len(g.shardErrs), g.quorum, firstDown))
+	default:
+		return fmt.Errorf("%d/%d shards up, below quorum %d: %v", up, len(g.shardErrs), g.quorum, firstDown)
+	}
+}

@@ -1,0 +1,364 @@
+package stalegw
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stalecert/internal/obs"
+	"stalecert/internal/shard"
+	"stalecert/internal/x509sim"
+)
+
+// fakeShard is one scripted staleapid replica: readyz, a consistent
+// /v1/shardmap self-report, and whatever /v1 handlers the test wires.
+type fakeShard struct {
+	ts   *httptest.Server
+	hits atomic.Int64
+}
+
+func newFakeShard(t *testing.T, idx, count int, epoch uint64, wire func(mux *http.ServeMux)) *fakeShard {
+	t.Helper()
+	f := &fakeShard{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("GET /v1/shardmap", func(w http.ResponseWriter, _ *http.Request) {
+		_ = json.NewEncoder(w).Encode(shard.Self{
+			Version: shard.MapVersion, Epoch: epoch, Hash: shard.HashName,
+			VNodes: shard.DefaultVNodes, Shard: shard.Assignment{Index: idx, Count: count},
+		})
+	})
+	if wire != nil {
+		wire(mux)
+	}
+	f.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/") {
+			f.hits.Add(1)
+		}
+		mux.ServeHTTP(w, r)
+	}))
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+// newFleet builds n fake shards plus a gateway over them.
+func newFleet(t *testing.T, n int, cfg Config, wire func(idx int, mux *http.ServeMux)) ([]*fakeShard, *Gateway) {
+	t.Helper()
+	shards := make([]*fakeShard, n)
+	addrs := make([]string, n)
+	for i := range shards {
+		i := i
+		shards[i] = newFakeShard(t, i, n, 1, func(mux *http.ServeMux) {
+			if wire != nil {
+				wire(i, mux)
+			}
+		})
+		addrs[i] = shards[i].ts.URL
+	}
+	cfg.Map = shard.NewMap(1, shard.DefaultVNodes, addrs)
+	cfg.Health = obs.NewHealth()
+	gw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return shards, gw
+}
+
+func gwGet(t *testing.T, gw *Gateway, path string) (*http.Response, []byte) {
+	t.Helper()
+	ts := httptest.NewServer(gw.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// Owner-routed queries must hit exactly the ring owner, no other shard.
+func TestOwnerRouting(t *testing.T) {
+	const n = 3
+	shards, gw := newFleet(t, n, Config{}, func(idx int, mux *http.ServeMux) {
+		mux.HandleFunc("GET /v1/domain/{e2ld}/staleness", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintf(w, `{"domain":%q,"shard":%d}`, r.PathValue("e2ld"), idx)
+		})
+	})
+	ring := shard.MustRing(n, shard.DefaultVNodes)
+	for i := 0; i < 20; i++ {
+		domain := fmt.Sprintf("routed%02d.com", i)
+		owner := ring.Lookup(shard.KeyForDomain(domain))
+		before := shards[owner].hits.Load()
+		resp, body := gwGet(t, gw, "/v1/domain/"+domain+"/staleness")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", domain, resp.StatusCode, body)
+		}
+		if !strings.Contains(string(body), fmt.Sprintf(`"shard":%d`, owner)) {
+			t.Fatalf("%s answered by the wrong shard: %s (owner %d)", domain, body, owner)
+		}
+		if shards[owner].hits.Load() != before+1 {
+			t.Fatalf("%s: owner %d not hit exactly once", domain, owner)
+		}
+		for j, f := range shards {
+			if j != owner && f.hits.Load() != 0 {
+				t.Fatalf("%s leaked to non-owner shard %d", domain, j)
+			}
+		}
+		for _, f := range shards {
+			f.hits.Store(0)
+		}
+	}
+
+	resp, _ := gwGet(t, gw, "/v1/domain/!!bad!!/staleness")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad domain status = %d", resp.StatusCode)
+	}
+}
+
+// Fingerprint lookups scatter to every shard; the single hit wins, a clean
+// all-shard miss is 404, and both fingerprint spellings share one cache
+// entry.
+func TestCertScatter(t *testing.T) {
+	cert, err := x509sim.New(42, 1, 42, []string{"scattered.com"}, 100, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := cert.Fingerprint()
+	const holder = 2
+	shards, gw := newFleet(t, 3, Config{}, func(idx int, mux *http.ServeMux) {
+		mux.HandleFunc("GET /v1/cert/{fp}", func(w http.ResponseWriter, r *http.Request) {
+			got := r.PathValue("fp")
+			if idx != holder || (got != fp.Hex() && got != fp.String()) {
+				w.WriteHeader(http.StatusNotFound)
+				fmt.Fprint(w, `{"error":"unknown fingerprint"}`)
+				return
+			}
+			fmt.Fprintf(w, `{"fingerprint":%q}`, fp.Hex())
+		})
+	})
+
+	resp, body := gwGet(t, gw, "/v1/cert/"+fp.Hex())
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), fp.Hex()) {
+		t.Fatalf("scatter lookup = %d: %s", resp.StatusCode, body)
+	}
+	for _, f := range shards {
+		if f.hits.Load() != 1 {
+			t.Fatal("scatter did not reach every shard exactly once")
+		}
+	}
+	if gw.Cache().Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", gw.Cache().Len())
+	}
+
+	// The short form is the same identity: cache hit, no second fan-out.
+	resp, _ = gwGet(t, gw, "/v1/cert/"+fp.String())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("short form status = %d", resp.StatusCode)
+	}
+	if gw.Cache().Len() != 1 {
+		t.Fatalf("cache holds %d entries after both spellings, want 1", gw.Cache().Len())
+	}
+	for _, f := range shards {
+		if f.hits.Load() != 1 {
+			t.Fatal("short-form lookup re-scattered instead of hitting the cache")
+		}
+	}
+
+	resp, _ = gwGet(t, gw, "/v1/cert/"+strings.Repeat("ee", 32))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("all-shard miss status = %d, want 404", resp.StatusCode)
+	}
+	resp, _ = gwGet(t, gw, "/v1/cert/nothex")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed fp status = %d", resp.StatusCode)
+	}
+}
+
+// A miss with a dead shard in the fan-out is NOT an authoritative 404: the
+// answer may live on the dead replica, so the gateway says 502 + missing.
+func TestCertScatterPartialMiss(t *testing.T) {
+	shards, gw := newFleet(t, 3, Config{}, func(idx int, mux *http.ServeMux) {
+		mux.HandleFunc("GET /v1/cert/{fp}", func(w http.ResponseWriter, _ *http.Request) {
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprint(w, `{"error":"unknown fingerprint"}`)
+		})
+	})
+	shards[1].ts.Close()
+	resp, body := gwGet(t, gw, "/v1/cert/"+strings.Repeat("ab", 32))
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(MissingShardsHeader); got != "1" {
+		t.Fatalf("%s = %q, want 1", MissingShardsHeader, got)
+	}
+}
+
+// The domains listing merges every shard's slice; a dead shard degrades the
+// merge (missing slice, marked) instead of failing it.
+func TestDomainsScatterMerge(t *testing.T) {
+	lists := [][]string{
+		{"alpha.com", "delta.com"},
+		{"beta.org"},
+		{"gamma.net", "omega.io"},
+	}
+	shards, gw := newFleet(t, 3, Config{}, func(idx int, mux *http.ServeMux) {
+		mux.HandleFunc("GET /v1/domains", func(w http.ResponseWriter, _ *http.Request) {
+			_ = json.NewEncoder(w).Encode(map[string]any{"domains": lists[idx], "total": len(lists[idx])})
+		})
+	})
+
+	resp, body := gwGet(t, gw, "/v1/domains")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var dr DomainsResponse
+	if err := json.Unmarshal(body, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if dr.Total != 5 || len(dr.Domains) != 5 || dr.Degraded ||
+		dr.Domains[0] != "alpha.com" || dr.Domains[4] != "omega.io" {
+		t.Fatalf("merged = %+v", dr)
+	}
+
+	shards[2].ts.Close()
+	resp, body = gwGet(t, gw, "/v1/domains")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partial status = %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if !dr.Degraded || dr.Total != 3 || len(dr.MissingShards) != 1 || dr.MissingShards[0] != 2 {
+		t.Fatalf("degraded merge = %+v", dr)
+	}
+	if got := resp.Header.Get(MissingShardsHeader); got != "2" {
+		t.Fatalf("%s = %q, want 2", MissingShardsHeader, got)
+	}
+}
+
+// When the owner shard dies, its last-good cached response keeps serving —
+// marked degraded, with the stale-evidence and missing-shard headers.
+func TestOwnerServeStaleDegraded(t *testing.T) {
+	const n = 3
+	shards, gw := newFleet(t, n, Config{CacheTTL: 30 * time.Millisecond}, func(idx int, mux *http.ServeMux) {
+		mux.HandleFunc("GET /v1/domain/{e2ld}/staleness", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintf(w, `{"domain":%q,"stale":[]}`, r.PathValue("e2ld"))
+		})
+	})
+	ring := shard.MustRing(n, shard.DefaultVNodes)
+	domain := "lastgood.com"
+	owner := ring.Lookup(shard.KeyForDomain(domain))
+
+	resp, _ := gwGet(t, gw, "/v1/domain/"+domain+"/staleness")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm-up status = %d", resp.StatusCode)
+	}
+
+	shards[owner].ts.Close()
+	time.Sleep(60 * time.Millisecond) // let the cached entry expire
+
+	resp, body := gwGet(t, gw, "/v1/domain/"+domain+"/staleness")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("serve-stale status = %d: %s", resp.StatusCode, body)
+	}
+	var payload map[string]any
+	if err := json.Unmarshal(body, &payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload["degraded"] != true || payload["evidence_age"] == nil {
+		t.Fatalf("degraded markers missing: %s", body)
+	}
+	if got := resp.Header.Get(MissingShardsHeader); got != fmt.Sprint(owner) {
+		t.Fatalf("%s = %q, want %d", MissingShardsHeader, got, owner)
+	}
+	if resp.Header.Get(obs.StaleEvidenceHeader) == "" {
+		t.Fatal("no X-Stale-Evidence header on stale-served response")
+	}
+
+	// A domain with nothing cached and a dead owner is an honest 502.
+	cold := ""
+	for i := 0; cold == ""; i++ {
+		d := fmt.Sprintf("cold%02d.com", i)
+		if ring.Lookup(shard.KeyForDomain(d)) == owner {
+			cold = d
+		}
+	}
+	resp, _ = gwGet(t, gw, "/v1/domain/"+cold+"/staleness")
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("cold dead-owner status = %d, want 502", resp.StatusCode)
+	}
+}
+
+// Readiness is quorum-based over probe rounds, and a shard whose shard-map
+// self-report disagrees with the gateway's map counts as down.
+func TestQuorumReadiness(t *testing.T) {
+	shards, gw := newFleet(t, 3, Config{Quorum: 2}, nil)
+	ctx := context.Background()
+
+	if err := gw.QuorumProbe(ctx); err == nil {
+		t.Fatal("ready before any probe round")
+	}
+	gw.ProbeOnce(ctx)
+	if err := gw.QuorumProbe(ctx); err != nil {
+		t.Fatalf("all-up fleet not ready: %v", err)
+	}
+
+	shards[0].ts.Close()
+	gw.ProbeOnce(ctx)
+	err := gw.QuorumProbe(ctx)
+	if err == nil || !obs.IsDegraded(err) {
+		t.Fatalf("2/3 up: err = %v, want degraded", err)
+	}
+
+	shards[1].ts.Close()
+	gw.ProbeOnce(ctx)
+	err = gw.QuorumProbe(ctx)
+	if err == nil || obs.IsDegraded(err) {
+		t.Fatalf("1/3 up: err = %v, want hard unready", err)
+	}
+
+	// A mis-mapped replica (wrong epoch) is down even though it's serving.
+	wrong := newFakeShard(t, 0, 2, 99, nil)
+	right := newFakeShard(t, 1, 2, 1, nil)
+	m := shard.NewMap(1, shard.DefaultVNodes, []string{wrong.ts.URL, right.ts.URL})
+	gw2, err := New(Config{Map: m, Health: obs.NewHealth(), Quorum: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw2.ProbeOnce(ctx)
+	if err := gw2.QuorumProbe(ctx); err == nil || !obs.IsDegraded(err) {
+		t.Fatalf("mis-mapped shard: err = %v, want degraded (1/2 up)", err)
+	}
+}
+
+// The gateway's own shardmap endpoint serves the full topology.
+func TestGatewayShardmap(t *testing.T) {
+	_, gw := newFleet(t, 2, Config{}, nil)
+	resp, body := gwGet(t, gw, "/v1/shardmap")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var m shard.Map
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Shards) != 2 || m.Shards[0].Addr == "" {
+		t.Fatalf("map = %+v", m)
+	}
+}

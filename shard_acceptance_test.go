@@ -1,0 +1,318 @@
+package stalecert_test
+
+// Sharding acceptance: a 3-shard staleapid fleet behind the stalegw gateway
+// must be indistinguishable from one unsharded staleapid — byte-identical
+// staleness verdicts, certificate lookups (both fingerprint spellings) and
+// domain listings over the whole seeded corpus. Then one shard dies: the
+// gateway degrades instead of failing — last-good verdicts marked degraded
+// with X-Missing-Shards and X-Stale-Evidence, partial domain listings, a
+// degraded (not unready) quorum probe, and the dead shard's circuit breaker
+// visibly open on /v1/breakers.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"stalecert/internal/certstore"
+	"stalecert/internal/core"
+	"stalecert/internal/crl"
+	"stalecert/internal/ctlog"
+	"stalecert/internal/obs"
+	"stalecert/internal/resil"
+	"stalecert/internal/shard"
+	"stalecert/internal/simtime"
+	"stalecert/internal/staleapi"
+	"stalecert/internal/stalegw"
+	"stalecert/internal/x509sim"
+)
+
+func acceptGet(t *testing.T, base, path string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp, string(body)
+}
+
+func TestShardedFleetMatchesUnshardedVerdicts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharding acceptance is not a -short test")
+	}
+	day := simtime.MustParse("2022-06-01")
+	const shardCount = 3
+
+	// Seeded CT log: 24 plain domains plus a revoked one.
+	log := ctlog.New("shard-accept-log", ctlog.Shard{})
+	logSrv := ctlog.NewServer(log)
+	logSrv.SetNow(day)
+	var domains []string
+	var certs []*x509sim.Certificate
+	addCert := func(serial uint64, names []string) {
+		t.Helper()
+		c, err := x509sim.New(x509sim.SerialNumber(serial), 1, x509sim.KeyID(serial), names, 100, 1200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := log.AddChain(c, day); err != nil {
+			t.Fatal(err)
+		}
+		certs = append(certs, c)
+	}
+	for i := uint64(0); i < 24; i++ {
+		d := fmt.Sprintf("accept%02d.com", i)
+		domains = append(domains, d)
+		addCert(i+1, []string{d, "www." + d})
+	}
+	domains = append(domains, "revoked.com")
+	addCert(100, []string{"revoked.com"})
+	logTS := httptest.NewServer(logSrv.Handler())
+	defer logTS.Close()
+
+	// Revocation evidence shared by every replica.
+	auth := crl.NewAuthority("ShardCA")
+	auth.Revoke(1, 100, 600, crl.KeyCompromise)
+	crlSrv := crl.NewServer(7)
+	crlSrv.SetNow(day)
+	crlSrv.Host(auth, 0)
+	crlTS := httptest.NewServer(crlSrv.Handler())
+	defer crlTS.Close()
+	evidence := func(ctx context.Context, domain string) (core.DomainEvidence, error) {
+		ev := core.DomainEvidence{RevocationCutoff: simtime.NoDay}
+		fetcher := &crl.Fetcher{Base: crlTS.URL, HC: crlTS.Client()}
+		lists, err := fetcher.FetchAll(ctx, []string{"ShardCA"})
+		if err != nil {
+			return ev, err
+		}
+		for _, l := range lists {
+			ev.Revocations = append(ev.Revocations, l.Entries...)
+		}
+		return ev, nil
+	}
+	newAPI := func(store *certstore.Store, self *shard.Self) *httptest.Server {
+		api := staleapi.NewServer(staleapi.Config{
+			Store:    store,
+			Evidence: evidence,
+			Now:      func() simtime.Day { return day },
+			Health:   obs.NewHealth(),
+			Shard:    self,
+		})
+		return httptest.NewServer(api.Handler())
+	}
+	ctx := context.Background()
+
+	// The reference: one unsharded replica holding the whole log.
+	whole, err := certstore.Open(certstore.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer whole.Close()
+	if _, err := certstore.NewIngester(whole, ctlog.NewClient(logTS.URL, logTS.Client())).Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if whole.Len() != len(certs) {
+		t.Fatalf("unsharded store holds %d certs, want %d", whole.Len(), len(certs))
+	}
+	wholeTS := newAPI(whole, nil)
+	defer wholeTS.Close()
+
+	// The fleet: three replicas tailing the same log, each keeping only its
+	// ring slice.
+	ring := shard.MustRing(shardCount, shard.DefaultVNodes)
+	stores := make([]*certstore.Store, shardCount)
+	apiTS := make([]*httptest.Server, shardCount)
+	addrs := make([]string, shardCount)
+	fleetTotal := 0
+	for i := 0; i < shardCount; i++ {
+		st, err := certstore.Open(certstore.Options{Dir: t.TempDir()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		ing := certstore.NewIngester(st, ctlog.NewClient(logTS.URL, logTS.Client()))
+		ing.Keep = shard.KeepFunc(ring, st.PSL(), i)
+		ing.Shard = &certstore.ShardConfig{Epoch: 1, Index: i, Count: shardCount,
+			VNodes: shard.DefaultVNodes, Hash: shard.HashName}
+		if _, err := ing.Sync(ctx); err != nil {
+			t.Fatalf("shard %d sync: %v", i, err)
+		}
+		if st.Len() == 0 {
+			t.Fatalf("shard %d ingested nothing", i)
+		}
+		fleetTotal += st.Len()
+		stores[i] = st
+		apiTS[i] = newAPI(st, &shard.Self{Version: shard.MapVersion, Epoch: 1,
+			Hash: shard.HashName, VNodes: shard.DefaultVNodes,
+			Shard: shard.Assignment{Index: i, Count: shardCount}})
+		defer apiTS[i].Close()
+		addrs[i] = apiTS[i].URL
+	}
+	if fleetTotal != len(certs) {
+		t.Fatalf("fleet slices sum to %d certs, want %d (overlap or loss)", fleetTotal, len(certs))
+	}
+
+	// Gateway over the fleet: resilient client with a fast-tripping,
+	// slow-closing breaker so the kill below is visible on /v1/breakers.
+	breakers := resil.NewBreakerSet(resil.BreakerConfig{
+		Service:     "shard-accept-gw",
+		MinRequests: 2,
+		Threshold:   0.5,
+		Cooldown:    time.Minute,
+	})
+	gwClient := resil.NewHTTPClient(resil.Options{
+		Service: "shard-accept-gw",
+		Breaker: breakers,
+		Policy: resil.Policy{
+			MaxAttempts: 2,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    5 * time.Millisecond,
+			PerAttempt:  2 * time.Second,
+		},
+	})
+	gw, err := stalegw.New(stalegw.Config{
+		Map:      shard.NewMap(1, shard.DefaultVNodes, addrs),
+		Client:   gwClient,
+		CacheTTL: 80 * time.Millisecond,
+		Health:   obs.NewHealth(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwTS := httptest.NewServer(gw.Handler())
+	defer gwTS.Close()
+
+	gw.ProbeOnce(ctx)
+	if err := gw.QuorumProbe(ctx); err != nil {
+		t.Fatalf("healthy fleet not ready: %v", err)
+	}
+
+	// Fault-free equivalence: every domain's staleness verdict and cert
+	// listing, several certificates under both fingerprint spellings, and
+	// the merged domain listing must be byte-identical to the unsharded
+	// reference.
+	for _, d := range append(domains, "nocerts.example") {
+		for _, ep := range []string{"/v1/domain/" + d + "/staleness", "/v1/domain/" + d + "/certs"} {
+			wantResp, want := acceptGet(t, wholeTS.URL, ep)
+			gotResp, got := acceptGet(t, gwTS.URL, ep)
+			if gotResp.StatusCode != wantResp.StatusCode || got != want {
+				t.Fatalf("%s diverges (status %d vs %d):\nunsharded: %s\ngateway:   %s",
+					ep, wantResp.StatusCode, gotResp.StatusCode, want, got)
+			}
+		}
+	}
+	for _, c := range []*x509sim.Certificate{certs[0], certs[11], certs[len(certs)-1]} {
+		fp := c.Fingerprint()
+		for _, form := range []string{fp.Hex(), fp.String()} {
+			_, want := acceptGet(t, wholeTS.URL, "/v1/cert/"+form)
+			_, got := acceptGet(t, gwTS.URL, "/v1/cert/"+form)
+			if got != want {
+				t.Fatalf("cert %s diverges:\nunsharded: %s\ngateway:   %s", form, want, got)
+			}
+		}
+	}
+	_, wantList := acceptGet(t, wholeTS.URL, "/v1/domains")
+	_, gotList := acceptGet(t, gwTS.URL, "/v1/domains")
+	if gotList != wantList {
+		t.Fatalf("domain listing diverges:\nunsharded: %s\ngateway:   %s", wantList, gotList)
+	}
+
+	// Kill one shard — the one owning accept00.com, whose verdict the
+	// gateway has cached above.
+	deadDomain := "accept00.com"
+	dead := ring.Lookup(shard.KeyForDomain(deadDomain))
+	deadHost := apiTS[dead].Listener.Addr().String()
+	apiTS[dead].Close()
+	time.Sleep(120 * time.Millisecond) // let the cached verdict expire
+
+	// Owner-routed query for the dead shard's domain: 200 from last-good,
+	// marked degraded, naming the missing shard.
+	resp, body := acceptGet(t, gwTS.URL, "/v1/domain/"+deadDomain+"/staleness")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-kill staleness status = %d: %s", resp.StatusCode, body)
+	}
+	var verdict map[string]any
+	if err := json.Unmarshal([]byte(body), &verdict); err != nil {
+		t.Fatal(err)
+	}
+	if verdict["degraded"] != true {
+		t.Fatalf("post-kill verdict not marked degraded: %s", body)
+	}
+	if got := resp.Header.Get(stalegw.MissingShardsHeader); got != strconv.Itoa(dead) {
+		t.Fatalf("%s = %q, want %d", stalegw.MissingShardsHeader, got, dead)
+	}
+	if resp.Header.Get(obs.StaleEvidenceHeader) == "" {
+		t.Fatal("post-kill verdict missing X-Stale-Evidence")
+	}
+
+	// Scatter-merge with a dead shard: partial results, marked.
+	resp, body = acceptGet(t, gwTS.URL, "/v1/domains")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-kill domains status = %d", resp.StatusCode)
+	}
+	var listing stalegw.DomainsResponse
+	if err := json.Unmarshal([]byte(body), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if !listing.Degraded || len(listing.MissingShards) != 1 || listing.MissingShards[0] != dead {
+		t.Fatalf("post-kill listing = %+v, want degraded with missing shard %d", listing, dead)
+	}
+	if listing.Total != len(domains)-stores[dead].Len() {
+		t.Fatalf("post-kill listing total = %d, want %d live domains", listing.Total, len(domains)-stores[dead].Len())
+	}
+
+	// A cert on a live shard still resolves through the fan-out.
+	liveCert := certs[0]
+	if ring.Lookup(shard.KeyForDomain("accept00.com")) == dead {
+		for i, c := range certs[:24] {
+			if ring.Lookup(shard.KeyForDomain(fmt.Sprintf("accept%02d.com", i))) != dead {
+				liveCert = c
+				break
+			}
+		}
+	}
+	resp, body = acceptGet(t, gwTS.URL, "/v1/cert/"+liveCert.Fingerprint().Hex())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-kill live-shard cert status = %d: %s", resp.StatusCode, body)
+	}
+
+	// Readiness degrades (2/3 up ≥ majority quorum) without going unready.
+	gw.ProbeOnce(ctx)
+	if err := gw.QuorumProbe(ctx); err == nil || !obs.IsDegraded(err) {
+		t.Fatalf("post-kill quorum probe = %v, want degraded", err)
+	}
+
+	// Enough failed legs must hit the dead shard to outweigh the successful
+	// equivalence-phase calls in its breaker window and trip the circuit:
+	// the breaker is then open on the /v1/breakers debug surface.
+	for i := 0; i < 20; i++ {
+		acceptGet(t, gwTS.URL, "/v1/domain/"+deadDomain+"/staleness")
+	}
+	brTS := httptest.NewServer(resil.Handler())
+	defer brTS.Close()
+	_, body = acceptGet(t, brTS.URL, "/v1/breakers")
+	var statuses []resil.BreakerStatus
+	if err := json.Unmarshal([]byte(body), &statuses); err != nil {
+		t.Fatal(err)
+	}
+	open := false
+	for _, s := range statuses {
+		if s.Service == "shard-accept-gw" && s.Peer == deadHost && s.State == "open" {
+			open = true
+		}
+	}
+	if !open {
+		t.Fatalf("dead shard %s breaker not open on /v1/breakers: %s", deadHost, body)
+	}
+}
