@@ -33,6 +33,12 @@
 // e2LDs its ring slice owns, pins that slice into the store, and reports it
 // at /v1/shardmap for the gateway (cmd/stalegw) to validate.
 //
+// Replicating a slice needs no extra wiring: start several staleapids with
+// the same -shard i/N (separate -store dirs), and each independently tails
+// the same log and pins an identical SHARD file — interchangeable replicas
+// the gateway lists as one "|"-joined replica group in its -shards flag and
+// fails over or hedges between.
+//
 // Every outbound call (CT log tail, CRL fetches) goes through the resilience
 // layer: -retry-max bounds attempts, -breaker-threshold tunes the per-peer
 // circuit breakers (visible on the debug listener at /v1/breakers), and a

@@ -1,27 +1,38 @@
 // Command stalegw is the stateless query gateway in front of a sharded
 // staleapid fleet. It keeps no certificate state: a consistent-hash shard
-// map (-shards, in ring-index order) tells it which replica owns which e2LD
-// slice, and it routes:
+// map (-shards, in ring-index order) tells it which replica group owns
+// which e2LD slice, and it routes:
 //
-//	GET /v1/domain/{e2ld}/certs        → the owning shard
-//	GET /v1/domain/{e2ld}/staleness    → the owning shard
+//	GET /v1/domain/{e2ld}/certs        → the owning slice
+//	GET /v1/domain/{e2ld}/staleness    → the owning slice
 //	GET /v1/cert/{fp}                  → scatter-gather, the hit wins
-//	GET /v1/domains[?prefix=&limit=]   → scatter-merge of every shard's slice
+//	GET /v1/domains[?prefix=&limit=]   → scatter-merge of every slice
 //	GET /v1/shardmap                   → the gateway's topology document
-//	GET /healthz, /readyz              liveness; readiness = shard quorum
+//	GET /healthz, /readyz              liveness; readiness = slice quorum
 //
-// Every fan-out leg rides the resilience layer (per-shard circuit breakers
-// on /v1/breakers, -retry-max retries, traced attempts). A dead shard
-// degrades instead of failing: owner-routed queries fall back to the
-// last-good cached response ("degraded": true, X-Stale-Evidence), scatter
-// queries return partial results with X-Missing-Shards, and /readyz reports
-// degraded while at least -quorum shards answer.
+// Each -shards element is one slice's replica group: one base URL, or
+// several separated by "|" (e.g. http://a:9001|http://b:9001). All replicas
+// of a slice must run staleapid with the same -shard i/N assignment (they
+// pin identical SHARD files and tail the same log). Per call the gateway
+// dials a healthy replica (probe + breaker state, rotated), fails over to
+// siblings on error, and with -hedge-after > 0 races a sibling when the
+// first replica is slow — first response wins, the loser is cancelled.
+//
+// Every fan-out leg rides the resilience layer (per-replica circuit
+// breakers on /v1/breakers, -retry-max retries, traced attempts). A dead
+// slice — every replica down — degrades instead of failing: owner-routed
+// queries fall back to the last-good cached response ("degraded": true,
+// X-Stale-Evidence), scatter queries return partial results with
+// X-Missing-Shards, and /readyz reports degraded while at least -quorum
+// slices answer. Last-good retention is bounded by -stale-cache-entries /
+// -stale-cache-ttl and observable as stalegw_stale_cache_entries.
 //
 // Usage:
 //
-//	stalegw -shards http://127.0.0.1:9001,http://127.0.0.1:9002 [-addr :8787]
-//	        [-epoch 1] [-vnodes 128] [-quorum 0 (majority)]
+//	stalegw -shards 'http://a:9001|http://b:9001,http://a:9002|http://b:9002'
+//	        [-addr :8787] [-epoch 1] [-vnodes 128] [-quorum 0 (majority)]
 //	        [-probe-interval 2s] [-cache-entries 4096] [-cache-ttl 5s]
+//	        [-hedge-after 30ms] [-stale-cache-entries 1024] [-stale-cache-ttl 10m]
 //	        [-debug-addr 127.0.0.1:0] [-retry-max 4] [-breaker-threshold 0.5]
 package main
 
@@ -44,13 +55,16 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8787", "API listen address")
-	shardList := flag.String("shards", "", "comma-separated shard base URLs in ring-index order (required)")
+	shardList := flag.String("shards", "", "comma-separated slices in ring-index order, each one base URL or |-separated replica URLs (required)")
 	epoch := flag.Uint64("epoch", 1, "shard-map epoch the fleet must agree on")
 	vnodes := flag.Int("vnodes", shard.DefaultVNodes, "virtual nodes per shard on the ring")
 	quorum := flag.Int("quorum", 0, "min live shards for (degraded) readiness; 0 = majority")
 	probeInterval := flag.Duration("probe-interval", 2*time.Second, "shard liveness probe interval")
 	cacheEntries := flag.Int("cache-entries", 4096, "last-good response cache capacity")
 	cacheTTL := flag.Duration("cache-ttl", 5*time.Second, "last-good response cache TTL")
+	staleEntries := flag.Int("stale-cache-entries", 1024, "max expired last-good entries retained for serve-stale (0 = unbounded)")
+	staleTTL := flag.Duration("stale-cache-ttl", 10*time.Minute, "max age past expiry a last-good entry may be served stale (0 = unbounded)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "race a sibling replica after this long without a response (0 disables hedging)")
 	obsFlags := obs.BindFlags(flag.CommandLine)
 	var rf resil.Flags
 	rf.BindFlags(flag.CommandLine)
@@ -61,19 +75,33 @@ func main() {
 		logger.Error("missing required -shards list")
 		os.Exit(2)
 	}
-	var addrs []string
-	for _, a := range strings.Split(*shardList, ",") {
-		if a = strings.TrimSpace(a); a != "" {
-			addrs = append(addrs, a)
+	var groups [][]string
+	for _, slice := range strings.Split(*shardList, ",") {
+		if slice = strings.TrimSpace(slice); slice == "" {
+			continue
 		}
+		var group []string
+		for _, a := range strings.Split(slice, "|") {
+			if a = strings.TrimSpace(a); a != "" {
+				group = append(group, a)
+			}
+		}
+		groups = append(groups, group)
 	}
 
+	// One breaker set shared between the resilient client (which trips
+	// circuits) and the gateway (which routes around open ones).
+	opts := rf.Options("stalegw")
 	gw, err := stalegw.New(stalegw.Config{
-		Map:          shard.NewMap(*epoch, *vnodes, addrs),
-		Client:       resil.NewHTTPClient(rf.Options("stalegw")),
+		Map:          shard.NewReplicatedMap(*epoch, *vnodes, groups),
+		Client:       resil.NewHTTPClient(opts),
 		Quorum:       *quorum,
 		CacheEntries: *cacheEntries,
 		CacheTTL:     *cacheTTL,
+		StaleEntries: *staleEntries,
+		StaleTTL:     *staleTTL,
+		HedgeAfter:   *hedgeAfter,
+		Breakers:     opts.Breaker,
 	})
 	if err != nil {
 		logger.Error("build gateway", "err", err)
@@ -86,7 +114,11 @@ func main() {
 
 	handler := obs.Middleware(obs.Default(), "stalegw", gw.Handler())
 	httpSrv := &http.Server{Addr: *addr, Handler: handler}
-	logger.Info("serving query gateway", "addr", *addr, "shards", len(addrs), "epoch", *epoch)
+	replicas := 0
+	for _, g := range groups {
+		replicas += len(g)
+	}
+	logger.Info("serving query gateway", "addr", *addr, "slices", len(groups), "replicas", replicas, "epoch", *epoch)
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	select {

@@ -141,13 +141,14 @@ func main() {
 	if *targetGateway {
 		// Gateway runs are their own trajectory family: record the topology
 		// so a 1-shard and a 3-shard point are never silently compared.
-		shards, terr := gatewayShardCount(ctx, hc, *target)
+		shards, replicas, terr := gatewayTopology(ctx, hc, *target)
 		if terr != nil {
 			logger.Error("read gateway topology", "target", *target, "err", terr)
 			os.Exit(1)
 		}
 		rep.Config.Gateway = true
 		rep.Config.Shards = shards
+		rep.Config.Replicas = replicas
 	}
 	path, err := rep.WriteReport(*outDir)
 	if err != nil {
@@ -414,21 +415,30 @@ func getJSON(ctx context.Context, hc *http.Client, url string, out any) error {
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// gatewayShardCount reads the stalegw topology document and returns the
-// fleet's shard count.
-func gatewayShardCount(ctx context.Context, hc *http.Client, target string) (int, error) {
+// gatewayTopology reads the stalegw topology document and returns the
+// fleet's slice count and the replicas per slice (the max across slices;
+// an unreplicated fleet reports 1).
+func gatewayTopology(ctx context.Context, hc *http.Client, target string) (shards, replicas int, err error) {
 	var m struct {
 		Shards []struct {
-			Index int `json:"index"`
+			Index    int      `json:"index"`
+			Addr     string   `json:"addr"`
+			Replicas []string `json:"replicas"`
 		} `json:"shards"`
 	}
 	if err := getJSON(ctx, hc, target+"/v1/shardmap", &m); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if len(m.Shards) == 0 {
-		return 0, fmt.Errorf("target %s serves an empty shard map (not a gateway?)", target)
+		return 0, 0, fmt.Errorf("target %s serves an empty shard map (not a gateway?)", target)
 	}
-	return len(m.Shards), nil
+	replicas = 1
+	for _, sh := range m.Shards {
+		if len(sh.Replicas) > replicas {
+			replicas = len(sh.Replicas)
+		}
+	}
+	return len(m.Shards), replicas, nil
 }
 
 // headSHA resolves the working tree's short commit SHA; "dev" when git is

@@ -8,9 +8,10 @@ import (
 	"time"
 )
 
-// The topology fields (gateway, shards) are additive on schema v1: a BENCH
-// file written before sharding existed must still read and validate, and a
-// gateway point must round-trip its topology.
+// The topology fields (gateway, shards, replicas) are additive on schema
+// v1: a BENCH file written before sharding or replication existed must
+// still read and validate, and a gateway point must round-trip its
+// topology.
 func TestBenchConfigTopologyAdditive(t *testing.T) {
 	legacy := `{
   "schema_version": 1,
@@ -33,7 +34,7 @@ func TestBenchConfigTopologyAdditive(t *testing.T) {
 	if err != nil {
 		t.Fatalf("pre-sharding BENCH file no longer reads: %v", err)
 	}
-	if rep.Config.Gateway || rep.Config.Shards != 0 {
+	if rep.Config.Gateway || rep.Config.Shards != 0 || rep.Config.Replicas != 0 {
 		t.Fatalf("legacy config grew topology: %+v", rep.Config)
 	}
 
@@ -41,6 +42,7 @@ func TestBenchConfigTopologyAdditive(t *testing.T) {
 	// point's JSON stays free of the new keys (byte-stable configs).
 	rep.Config.Gateway = true
 	rep.Config.Shards = 3
+	rep.Config.Replicas = 2
 	rep.Timestamp = time.Now().UTC()
 	out, err := rep.WriteReport(t.TempDir())
 	if err != nil {
@@ -50,7 +52,7 @@ func TestBenchConfigTopologyAdditive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !back.Config.Gateway || back.Config.Shards != 3 {
+	if !back.Config.Gateway || back.Config.Shards != 3 || back.Config.Replicas != 2 {
 		t.Fatalf("topology lost on round-trip: %+v", back.Config)
 	}
 
@@ -58,7 +60,7 @@ func TestBenchConfigTopologyAdditive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"gateway", "shards"} {
+	for _, key := range []string{"gateway", "shards", "replicas"} {
 		var m map[string]any
 		_ = json.Unmarshal(direct, &m)
 		if _, present := m[key]; present {

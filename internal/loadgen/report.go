@@ -52,6 +52,10 @@ type BenchConfig struct {
 	// configs. A gateway point and a direct point are NOT comparable.
 	Gateway bool `json:"gateway,omitempty"`
 	Shards  int  `json:"shards,omitempty"`
+	// Replicas records replicas per slice for a replicated gateway fleet
+	// (0/absent = unreplicated or pre-replication file). Additive like
+	// Gateway/Shards; a 2x1 and a 2x2 point are NOT comparable.
+	Replicas int `json:"replicas,omitempty"`
 }
 
 // BenchReport is the BENCH_<scenario>_<git-sha>.json document: one point on

@@ -192,10 +192,31 @@ func (b *Breaker) transition(next State, now time.Time) func() {
 	return nil
 }
 
+// Outcome is a finished call's disposition as seen by the breaker.
+type Outcome uint8
+
+// Outcomes. Canceled marks a call abandoned by its caller (a losing hedge
+// leg, a scatter cut short): it proves nothing about the peer's health, so
+// it neither counts in the failure window nor resolves a half-open probe —
+// hedging against a peer must not trip its circuit.
+const (
+	OutcomeSuccess Outcome = iota
+	OutcomeFailure
+	OutcomeCanceled
+)
+
+// outcomeOf maps the legacy bool form.
+func outcomeOf(ok bool) Outcome {
+	if ok {
+		return OutcomeSuccess
+	}
+	return OutcomeFailure
+}
+
 // Allow admits or rejects one call. On admission it returns a report
 // function the caller MUST invoke exactly once with the call's outcome; on
 // rejection it returns an error wrapping ErrOpen.
-func (b *Breaker) Allow() (report func(ok bool), err error) {
+func (b *Breaker) Allow() (report func(Outcome), err error) {
 	now := b.cfg.Clock.Now()
 	b.mu.Lock()
 	b.rotate(now)
@@ -231,8 +252,13 @@ func (b *Breaker) Allow() (report func(ok bool), err error) {
 }
 
 // reportClosed records a closed-state outcome and trips the circuit when the
-// window crosses the threshold.
-func (b *Breaker) reportClosed(ok bool) {
+// window crosses the threshold. Canceled outcomes are neutral: no window
+// entry, no trip.
+func (b *Breaker) reportClosed(o Outcome) {
+	if o == OutcomeCanceled {
+		return
+	}
+	ok := o == OutcomeSuccess
 	now := b.cfg.Clock.Now()
 	b.mu.Lock()
 	b.rotate(now)
@@ -265,8 +291,9 @@ func (b *Breaker) reportClosed(ok bool) {
 }
 
 // reportProbe resolves a half-open probe: success closes the circuit,
-// failure re-opens it for another cooldown.
-func (b *Breaker) reportProbe(ok bool) {
+// failure re-opens it for another cooldown, cancellation releases the probe
+// slot without judging the peer.
+func (b *Breaker) reportProbe(o Outcome) {
 	now := b.cfg.Clock.Now()
 	b.mu.Lock()
 	if b.state != HalfOpen {
@@ -275,10 +302,13 @@ func (b *Breaker) reportProbe(ok bool) {
 	}
 	b.probes--
 	var notify func()
-	if ok {
+	switch o {
+	case OutcomeSuccess:
 		notify = b.transition(Closed, now)
-	} else {
+	case OutcomeFailure:
 		notify = b.transition(Open, now)
+	case OutcomeCanceled:
+		// Stay half-open; the freed slot admits the next probe.
 	}
 	b.mu.Unlock()
 	if notify != nil {

@@ -28,7 +28,7 @@ func drive(t *testing.T, b *Breaker, n int, ok bool) (admitted int) {
 		if err != nil {
 			continue
 		}
-		report(ok)
+		report(outcomeOf(ok))
 		admitted++
 	}
 	return admitted
@@ -81,7 +81,7 @@ func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
 	if _, err := b.Allow(); !errors.Is(err, ErrOpen) {
 		t.Fatalf("concurrent probe = %v, want ErrOpen", err)
 	}
-	report(true)
+	report(OutcomeSuccess)
 	if b.State() != Closed {
 		t.Fatalf("state = %v, want closed after successful probe", b.State())
 	}
@@ -100,7 +100,7 @@ func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Allow: %v", err)
 	}
-	report(false)
+	report(OutcomeFailure)
 	if b.State() != Open {
 		t.Fatalf("state = %v, want re-opened", b.State())
 	}
@@ -134,7 +134,7 @@ func TestBreakerOnStateChange(t *testing.T) {
 	drive(t, b, 4, false)
 	fc.Advance(5 * time.Second)
 	report, _ := b.Allow()
-	report(true)
+	report(OutcomeSuccess)
 
 	mu.Lock()
 	defer mu.Unlock()
@@ -184,7 +184,7 @@ func TestBreakerConcurrentCalls(t *testing.T) {
 			for i := 0; i < 200; i++ {
 				report, err := b.Allow()
 				if err == nil {
-					report(i%3 != 0)
+					report(outcomeOf(i%3 != 0))
 				}
 			}
 		}(g)
@@ -197,5 +197,57 @@ func TestBreakerConcurrentCalls(t *testing.T) {
 	}()
 	if ok+fail != 1600 {
 		t.Fatalf("window total = %d, want 1600", ok+fail)
+	}
+}
+
+func TestBreakerCanceledIsNeutral(t *testing.T) {
+	fc := NewFakeClock(time.Now())
+	b := newBreaker(testBreakerConfig(fc).withDefaults(), "peer:1")
+	// A storm of abandoned calls (losing hedge legs) must not trip the
+	// circuit, no matter the volume.
+	for i := 0; i < 50; i++ {
+		report, err := b.Allow()
+		if err != nil {
+			t.Fatalf("Allow %d: %v", i, err)
+		}
+		report(OutcomeCanceled)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v after canceled storm, want closed", b.State())
+	}
+	// And they do not count toward MinRequests either: one real failure on
+	// top still lacks the volume to trip.
+	report, _ := b.Allow()
+	report(OutcomeFailure)
+	if b.State() != Closed {
+		t.Fatalf("state = %v, canceled outcomes counted into the window", b.State())
+	}
+}
+
+func TestBreakerCanceledProbeKeepsHalfOpen(t *testing.T) {
+	fc := NewFakeClock(time.Now())
+	b := newBreaker(testBreakerConfig(fc).withDefaults(), "peer:1")
+	drive(t, b, 4, false)
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	fc.Advance(5 * time.Second)
+	report, err := b.Allow()
+	if err != nil {
+		t.Fatalf("Allow after cooldown: %v", err)
+	}
+	report(OutcomeCanceled)
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want still half-open after canceled probe", b.State())
+	}
+	// The canceled probe released its slot: the next caller gets to probe,
+	// and its real success closes the circuit.
+	report2, err := b.Allow()
+	if err != nil {
+		t.Fatalf("Allow after canceled probe: %v (slot not released)", err)
+	}
+	report2(OutcomeSuccess)
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed", b.State())
 	}
 }

@@ -16,10 +16,35 @@ type Clock interface {
 	Sleep(ctx context.Context, d time.Duration) error
 }
 
+// Timer is a one-shot timer: C fires once at the deadline unless Stop wins.
+type Timer interface {
+	// C yields the fire time once the deadline passes.
+	C() <-chan time.Time
+	// Stop cancels the timer, reporting whether it had not yet fired.
+	Stop() bool
+}
+
+// TimerClock is a Clock that can also mint timers. Hedging needs a timer
+// (not Sleep) so a fake clock can hold the hedge delay open while the
+// primary leg races it; FakeClock timers fire only when Advance or Sleep
+// moves fake time past their deadline.
+type TimerClock interface {
+	Clock
+	// NewTimer returns a Timer firing d from now.
+	NewTimer(d time.Duration) Timer
+}
+
 // realClock is the production Clock.
 type realClock struct{}
 
 func (realClock) Now() time.Time { return time.Now() }
+
+type realTimer struct{ t *time.Timer }
+
+func (rt realTimer) C() <-chan time.Time { return rt.t.C }
+func (rt realTimer) Stop() bool          { return rt.t.Stop() }
+
+func (realClock) NewTimer(d time.Duration) Timer { return realTimer{time.NewTimer(d)} }
 
 func (realClock) Sleep(ctx context.Context, d time.Duration) error {
 	if d <= 0 {
@@ -38,9 +63,10 @@ func (realClock) Sleep(ctx context.Context, d time.Duration) error {
 // FakeClock is a deterministic Clock for tests: Sleep returns immediately,
 // advancing the fake time by the requested duration and recording it.
 type FakeClock struct {
-	mu    sync.Mutex
-	now   time.Time
-	slept []time.Duration
+	mu     sync.Mutex
+	now    time.Time
+	slept  []time.Duration
+	timers []*fakeTimer
 }
 
 // NewFakeClock creates a fake clock starting at start.
@@ -55,10 +81,12 @@ func (c *FakeClock) Now() time.Time {
 	return c.now
 }
 
-// Advance moves the fake time forward without recording a sleep.
+// Advance moves the fake time forward without recording a sleep, firing any
+// timers whose deadline has passed.
 func (c *FakeClock) Advance(d time.Duration) {
 	c.mu.Lock()
 	c.now = c.now.Add(d)
+	c.fireLocked()
 	c.mu.Unlock()
 }
 
@@ -70,8 +98,57 @@ func (c *FakeClock) Sleep(ctx context.Context, d time.Duration) error {
 	c.mu.Lock()
 	c.now = c.now.Add(d)
 	c.slept = append(c.slept, d)
+	c.fireLocked()
 	c.mu.Unlock()
 	return nil
+}
+
+// fakeTimer is a FakeClock timer; it fires when the clock reaches deadline.
+type fakeTimer struct {
+	fc       *FakeClock
+	c        chan time.Time
+	deadline time.Time
+	done     bool // fired or stopped
+}
+
+func (t *fakeTimer) C() <-chan time.Time { return t.c }
+func (t *fakeTimer) Stop() bool          { return t.fc.stopTimer(t) }
+
+// NewTimer returns a timer that fires when Advance or Sleep moves the fake
+// time to or past d from now. A non-positive d fires immediately.
+func (c *FakeClock) NewTimer(d time.Duration) Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &fakeTimer{fc: c, c: make(chan time.Time, 1), deadline: c.now.Add(d)}
+	c.timers = append(c.timers, t)
+	c.fireLocked()
+	return t
+}
+
+func (c *FakeClock) stopTimer(t *fakeTimer) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.done {
+		return false
+	}
+	t.done = true
+	return true
+}
+
+// fireLocked delivers every due, unfired timer; callers hold c.mu.
+func (c *FakeClock) fireLocked() {
+	live := c.timers[:0]
+	for _, t := range c.timers {
+		if !t.done && !t.deadline.After(c.now) {
+			t.done = true
+			t.c <- c.now
+			continue
+		}
+		if !t.done {
+			live = append(live, t)
+		}
+	}
+	c.timers = live
 }
 
 // Slept returns every duration Sleep was asked to wait.

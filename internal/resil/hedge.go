@@ -1,0 +1,131 @@
+package resil
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Hedge configures hedged execution over interchangeable legs (replicas).
+// After waiting After with no response from the running legs, the next
+// unstarted leg is launched in parallel; a leg error launches the next leg
+// immediately (failover). The first success wins and every other leg's
+// context is cancelled. After <= 0 disables timer-driven hedging (legs still
+// fail over on error).
+type Hedge struct {
+	// After is the hedge delay: how long to wait for the running legs
+	// before racing the next one. 0 disables speculative hedging.
+	After time.Duration
+	// Clock paces the hedge timer (default: the real clock). Timer-driven
+	// hedging requires a TimerClock; the stock real and fake clocks both
+	// are one.
+	Clock Clock
+}
+
+// HedgeStats reports what a HedgeDo call actually did.
+type HedgeStats struct {
+	// Legs is how many legs were started.
+	Legs int
+	// Hedged counts timer-fired extra legs (speculative, no error seen).
+	Hedged int
+	// Failovers counts error-fired extra legs.
+	Failovers int
+	// Winner is the index of the leg whose result was returned (-1 if none
+	// succeeded).
+	Winner int
+	// HedgedWin is true when the winning leg was not leg 0.
+	HedgedWin bool
+}
+
+type hedgeResult[T any] struct {
+	leg int
+	v   T
+	err error
+}
+
+// HedgeDo runs op against up to legs interchangeable targets, hedging and
+// failing over per cfg. op receives the leg index (0-based) and a context
+// that is cancelled as soon as another leg wins — a cancelled loser must
+// treat it as abandonment, not failure. The first nil-error result wins; if
+// every leg fails, the last error is returned. Deterministic under
+// FakeClock: hedge timers fire only when fake time advances.
+func HedgeDo[T any](ctx context.Context, cfg Hedge, legs int, op func(ctx context.Context, leg int) (T, error)) (T, HedgeStats, error) {
+	var zero T
+	stats := HedgeStats{Winner: -1}
+	if legs <= 0 {
+		return zero, stats, errors.New("resil: hedge with no legs")
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = realClock{}
+	}
+	tc, timed := clock.(TimerClock)
+	timed = timed && cfg.After > 0
+
+	lctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan hedgeResult[T], legs) // buffered: losers never block
+
+	next := 0 // next unstarted leg
+	pending := 0
+	var timer Timer
+	var timerC <-chan time.Time
+	arm := func() {
+		if timed && next < legs {
+			timer = tc.NewTimer(cfg.After)
+			timerC = timer.C()
+		}
+	}
+	disarm := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, timerC = nil, nil
+		}
+	}
+	// launchNext starts leg `next`, arming the hedge timer for its sibling
+	// first so that (under a fake clock) the timer exists before the new
+	// leg's op can observably run.
+	launchNext := func() {
+		leg := next
+		next++
+		pending++
+		stats.Legs++
+		arm()
+		go func() {
+			v, err := op(lctx, leg)
+			results <- hedgeResult[T]{leg: leg, v: v, err: err}
+		}()
+	}
+	launchNext()
+	defer disarm()
+
+	var lastErr error
+	for {
+		select {
+		case <-ctx.Done():
+			return zero, stats, joinCtx(ctx.Err(), lastErr)
+		case <-timerC:
+			timer, timerC = nil, nil
+			if next < legs {
+				stats.Hedged++
+				launchNext()
+			}
+		case r := <-results:
+			if r.err == nil {
+				stats.Winner = r.leg
+				stats.HedgedWin = r.leg != 0
+				return r.v, stats, nil
+			}
+			pending--
+			lastErr = r.err
+			if next < legs {
+				// Failover: this leg is dead, race the next sibling now.
+				disarm()
+				stats.Failovers++
+				launchNext()
+			} else if pending == 0 {
+				return zero, stats, lastErr
+			}
+		}
+	}
+}

@@ -176,7 +176,7 @@ func (t *Transport) attempt(req *http.Request, p Policy, attempt int, maxBody in
 	if base == nil {
 		base = http.DefaultTransport
 	}
-	var report func(bool)
+	var report func(Outcome)
 	if t.Breakers != nil {
 		var berr error
 		report, berr = t.Breakers.For(req.URL.Host).Allow()
@@ -184,7 +184,16 @@ func (t *Transport) attempt(req *http.Request, p Policy, attempt int, maxBody in
 			return nil, berr, nil
 		}
 	} else {
-		report = func(bool) {}
+		report = func(Outcome) {}
+	}
+	// fail distinguishes a genuine peer failure from caller abandonment: a
+	// losing hedge leg (or any caller-cancelled attempt) says nothing about
+	// the peer's health and must not trip its breaker.
+	fail := func() Outcome {
+		if req.Context().Err() != nil {
+			return OutcomeCanceled
+		}
+		return OutcomeFailure
 	}
 
 	// Tag the attempt number so the obs transport below records which try
@@ -201,7 +210,7 @@ func (t *Transport) attempt(req *http.Request, p Policy, attempt int, maxBody in
 			if cancel != nil {
 				cancel()
 			}
-			report(false)
+			report(OutcomeFailure)
 			return nil, fmt.Errorf("resil: replay request body: %w", gerr), nil
 		}
 		areq.Body = body
@@ -212,7 +221,7 @@ func (t *Transport) attempt(req *http.Request, p Policy, attempt int, maxBody in
 		if cancel != nil {
 			cancel()
 		}
-		report(false)
+		report(fail())
 		return nil, rerr, nil
 	}
 
@@ -227,10 +236,10 @@ func (t *Transport) attempt(req *http.Request, p Policy, attempt int, maxBody in
 		if cancel != nil {
 			cancel()
 		}
-		report(false) // torn body: the peer is flaky regardless of status
+		report(fail()) // torn body: the peer is flaky regardless of status
 		return nil, fmt.Errorf("resil: read response body: %w", berr), nil
 	}
-	report(!retryableStatus)
+	report(outcomeOf(!retryableStatus))
 	if n > maxBody {
 		// Too large to buffer: stream the remainder through untouched (such
 		// a response is delivered as-is and not retryable mid-read).

@@ -46,10 +46,26 @@ func ParseAssignment(s string) (Assignment, error) {
 }
 
 // Member is one shard's entry in the fleet map. Addr is the shard's API base
-// URL; replicas serving their own /v1/shardmap omit it.
+// URL; replicas serving their own /v1/shardmap omit it. Replicas, when
+// present, lists every base URL serving this slice (Addr is then the first
+// replica, kept for wire compatibility with single-replica maps).
 type Member struct {
-	Index int    `json:"index"`
-	Addr  string `json:"addr,omitempty"`
+	Index    int      `json:"index"`
+	Addr     string   `json:"addr,omitempty"`
+	Replicas []string `json:"replicas,omitempty"`
+}
+
+// Group returns the slice's replica addresses: Replicas when populated, else
+// the single Addr. Callers route to any member of the group; all replicas of
+// a slice pin identical SHARD files and tail the same log.
+func (m Member) Group() []string {
+	if len(m.Replicas) > 0 {
+		return m.Replicas
+	}
+	if m.Addr != "" {
+		return []string{m.Addr}
+	}
+	return nil
 }
 
 // Map is the versioned, epoch-numbered shard-map document. The gateway
@@ -79,6 +95,27 @@ func NewMap(epoch uint64, vnodes int, addrs []string) Map {
 	return m
 }
 
+// NewReplicatedMap builds an epoch's map where each slice is served by a
+// replica group (one or more base URLs), in ring-index order. Single-address
+// groups degenerate to the NewMap wire form.
+func NewReplicatedMap(epoch uint64, vnodes int, groups [][]string) Map {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	m := Map{Version: MapVersion, Epoch: epoch, Hash: HashName, VNodes: vnodes}
+	for i, g := range groups {
+		mem := Member{Index: i}
+		if len(g) > 0 {
+			mem.Addr = g[0]
+		}
+		if len(g) > 1 {
+			mem.Replicas = append([]string(nil), g...)
+		}
+		m.Shards = append(m.Shards, mem)
+	}
+	return m
+}
+
 // Validate checks the document is a coherent ring description: known version
 // and hash, positive vnodes, and members covering exactly indexes 0..N-1.
 func (m Map) Validate() error {
@@ -95,11 +132,32 @@ func (m Map) Validate() error {
 		return fmt.Errorf("shard: map has no shards")
 	}
 	seen := make([]bool, len(m.Shards))
+	addrs := make(map[string]int, len(m.Shards))
 	for _, sh := range m.Shards {
 		if sh.Index < 0 || sh.Index >= len(m.Shards) || seen[sh.Index] {
 			return fmt.Errorf("shard: map indexes are not exactly 0..%d", len(m.Shards)-1)
 		}
 		seen[sh.Index] = true
+		group := sh.Group()
+		if len(group) == 0 {
+			return fmt.Errorf("shard: slice %d has an empty replica group", sh.Index)
+		}
+		if len(sh.Replicas) > 0 && sh.Addr != "" && sh.Addr != sh.Replicas[0] {
+			return fmt.Errorf("shard: slice %d addr %q is not its first replica %q",
+				sh.Index, sh.Addr, sh.Replicas[0])
+		}
+		for _, a := range group {
+			if a == "" {
+				return fmt.Errorf("shard: slice %d has an empty replica address", sh.Index)
+			}
+			if prev, dup := addrs[a]; dup {
+				if prev == sh.Index {
+					return fmt.Errorf("shard: slice %d lists replica %q twice", sh.Index, a)
+				}
+				return fmt.Errorf("shard: replica %q serves both slice %d and slice %d", a, prev, sh.Index)
+			}
+			addrs[a] = sh.Index
+		}
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package staleapi
 
 import (
 	"container/list"
+	"sort"
 	"sync"
 	"time"
 
@@ -42,6 +43,13 @@ type Cache struct {
 	ttl time.Duration
 	now func() time.Time // injectable for tests
 
+	// Last-good retention bounds (see SetStaleBounds). Zero values retain
+	// expired entries until capacity eviction, the legacy behavior.
+	staleMax int
+	staleTTL time.Duration
+
+	gauge *obs.Gauge // entry-count gauge (default: the package-wide one)
+
 	mu    sync.Mutex
 	ll    *list.List // front = most recent
 	items map[string]*list.Element
@@ -80,6 +88,75 @@ func NewCache(max int, ttl time.Duration) *Cache {
 	}
 }
 
+// SetStaleBounds bounds how long and how many expired entries are retained
+// as last-good serve-stale fallbacks. maxAge is measured past expiry: an
+// entry expired longer than maxAge ago is dropped instead of served stale
+// (0 = keep until capacity eviction). maxEntries caps how many expired
+// entries are retained at once, dropping the longest-expired first (0 = no
+// count bound). Without these bounds a cache whose key space keeps growing
+// retains every last-good body it ever computed.
+func (c *Cache) SetStaleBounds(maxEntries int, maxAge time.Duration) {
+	c.mu.Lock()
+	c.staleMax = maxEntries
+	c.staleTTL = maxAge
+	c.mu.Unlock()
+}
+
+// SetSizeGauge redirects this cache's entry-count gauge so embedders (the
+// gateway's serve-stale cache) can export it under their own metric name.
+func (c *Cache) SetSizeGauge(g *obs.Gauge) {
+	c.mu.Lock()
+	c.gauge = g
+	c.mu.Unlock()
+}
+
+// setSize updates the entry-count gauge; caller holds c.mu.
+func (c *Cache) setSize() {
+	if c.gauge != nil {
+		c.gauge.Set(float64(c.ll.Len()))
+		return
+	}
+	mCacheSize.Set(float64(c.ll.Len()))
+}
+
+// removeLocked drops one element; caller holds c.mu.
+func (c *Cache) removeLocked(el *list.Element) {
+	c.ll.Remove(el)
+	delete(c.items, el.Value.(*cacheEntry).key)
+}
+
+// sweepStaleLocked enforces the stale-retention bounds; caller holds c.mu.
+func (c *Cache) sweepStaleLocked(now time.Time) {
+	if c.ttl <= 0 || (c.staleTTL <= 0 && c.staleMax <= 0) {
+		return
+	}
+	var expired []*list.Element
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		ent := el.Value.(*cacheEntry)
+		if now.Before(ent.expires) {
+			el = next
+			continue
+		}
+		if c.staleTTL > 0 && !now.Before(ent.expires.Add(c.staleTTL)) {
+			c.removeLocked(el)
+			mCacheEvictions.Inc()
+		} else {
+			expired = append(expired, el)
+		}
+		el = next
+	}
+	if c.staleMax > 0 && len(expired) > c.staleMax {
+		sort.Slice(expired, func(i, j int) bool {
+			return expired[i].Value.(*cacheEntry).expires.Before(expired[j].Value.(*cacheEntry).expires)
+		})
+		for _, el := range expired[:len(expired)-c.staleMax] {
+			c.removeLocked(el)
+			mCacheEvictions.Inc()
+		}
+	}
+}
+
 // Len returns the live entry count.
 func (c *Cache) Len() int {
 	c.mu.Lock()
@@ -107,8 +184,16 @@ func (c *Cache) Do(key string, loader func() (any, error)) (v any, info CacheInf
 			return ent.val, CacheInfo{Hit: true}, nil
 		}
 		// Expired: no longer a hit, but keep the entry as last-good so a
-		// failing loader can degrade to it instead of erroring.
-		staleVal, staleAge, haveStale = ent.val, c.now().Sub(ent.stored), true
+		// failing loader can degrade to it instead of erroring — unless it
+		// overstayed the stale-retention TTL, in which case it is dropped.
+		now := c.now()
+		if c.staleTTL > 0 && !now.Before(ent.expires.Add(c.staleTTL)) {
+			c.removeLocked(el)
+			mCacheEvictions.Inc()
+			c.setSize()
+		} else {
+			staleVal, staleAge, haveStale = ent.val, now.Sub(ent.stored), true
+		}
 		mCacheExpired.Inc()
 	}
 	serveStale := func(cl *call) (any, CacheInfo, error) {
@@ -145,12 +230,12 @@ func (c *Cache) Do(key string, loader func() (any, error)) (v any, info CacheInf
 		}
 		for c.ll.Len() > c.max {
 			oldest := c.ll.Back()
-			c.ll.Remove(oldest)
-			delete(c.items, oldest.Value.(*cacheEntry).key)
+			c.removeLocked(oldest)
 			mCacheEvictions.Inc()
 		}
+		c.sweepStaleLocked(now)
 	}
-	mCacheSize.Set(float64(c.ll.Len()))
+	c.setSize()
 	c.mu.Unlock()
 	return serveStale(cl)
 }
@@ -161,8 +246,7 @@ func (c *Cache) Invalidate(key string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		c.ll.Remove(el)
-		delete(c.items, key)
-		mCacheSize.Set(float64(c.ll.Len()))
+		c.removeLocked(el)
+		c.setSize()
 	}
 }

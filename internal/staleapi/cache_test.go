@@ -6,7 +6,11 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"stalecert/internal/obs"
 )
+
+var errLoader = errors.New("loader failed")
 
 func TestCacheHitMissAndLRU(t *testing.T) {
 	c := NewCache(2, time.Hour)
@@ -175,5 +179,79 @@ func TestCacheZeroMaxStillSingleflights(t *testing.T) {
 	c.Do("k", func() (any, error) { return 1, nil })
 	if _, info, _ := c.Do("k", func() (any, error) { return 2, nil }); info.Hit {
 		t.Fatal("max=0 cache stored an entry")
+	}
+}
+
+func TestCacheStaleTTLDropsOverstayedLastGood(t *testing.T) {
+	c := NewCache(8, time.Minute)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+	c.SetStaleBounds(0, 5*time.Minute)
+
+	if _, _, err := c.Do("k", func() (any, error) { return "good", nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	// Expired but within the stale TTL: still served as last-good.
+	now = now.Add(3 * time.Minute)
+	v, info, err := c.Do("k", func() (any, error) { return nil, errLoader })
+	if err != nil || !info.Stale || v != "good" {
+		t.Fatalf("within stale TTL: v=%v info=%+v err=%v", v, info, err)
+	}
+
+	// Past expiry+staleTTL: the entry is dropped, the loader error surfaces.
+	now = now.Add(4 * time.Minute)
+	if _, _, err := c.Do("k", func() (any, error) { return nil, errLoader }); err == nil {
+		t.Fatal("overstayed last-good entry still served")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d, want overstayed entry dropped", c.Len())
+	}
+}
+
+func TestCacheStaleEntriesBound(t *testing.T) {
+	c := NewCache(100, time.Minute)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+	c.SetStaleBounds(2, 0)
+
+	for _, k := range []string{"a", "b", "c", "d"} {
+		k := k
+		if _, _, err := c.Do(k, func() (any, error) { return k, nil }); err != nil {
+			t.Fatal(err)
+		}
+		now = now.Add(time.Second) // distinct expiry times, oldest = "a"
+	}
+	now = now.Add(2 * time.Minute) // all four expire
+
+	// An insert sweeps: only the 2 most recently expired survive as
+	// last-good.
+	if _, _, err := c.Do("e", func() (any, error) { return "e", nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Len(); got != 3 { // e (fresh) + c, d (stale)
+		t.Fatalf("Len = %d, want 3 after stale-count sweep", got)
+	}
+	if _, _, err := c.Do("a", func() (any, error) { return nil, errLoader }); err == nil {
+		t.Fatal("oldest-expired entry survived the count bound")
+	}
+	if v, info, err := c.Do("d", func() (any, error) { return nil, errLoader }); err != nil || !info.Stale || v != "d" {
+		t.Fatalf("newest-expired entry not retained: v=%v info=%+v err=%v", v, info, err)
+	}
+}
+
+func TestCacheSizeGaugeOverride(t *testing.T) {
+	c := NewCache(8, time.Minute)
+	g := obs.Default().Gauge("test_cache_entries_override")
+	c.SetSizeGauge(g)
+	if _, _, err := c.Do("k", func() (any, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if g.Value() != 1 {
+		t.Fatalf("gauge = %v, want 1", g.Value())
+	}
+	c.Invalidate("k")
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %v, want 0 after invalidate", g.Value())
 	}
 }

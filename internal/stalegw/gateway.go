@@ -1,18 +1,26 @@
 // Package stalegw is the stateless query gateway in front of a sharded
 // staleapid fleet. It holds no certificate state of its own: a versioned
-// shard.Map tells it which replica owns which ring slice, and every query is
-// either owner-routed (domain endpoints — the e2LD names exactly one shard)
-// or scatter-gathered (fingerprint and listing endpoints — the owner cannot
-// be derived from the request alone).
+// shard.Map tells it which replica group owns which ring slice, and every
+// query is either owner-routed (domain endpoints — the e2LD names exactly
+// one slice) or scatter-gathered (fingerprint and listing endpoints — the
+// owner cannot be derived from the request alone).
 //
-// Degradation is graceful on both paths. Owner-routed queries whose shard is
-// down are answered from the gateway's last-good cache, marked
+// Every slice may be served by several interchangeable replicas. The
+// gateway picks a live replica per call (probe state + breaker state,
+// rotated for load spread), fails over to siblings on error or open
+// breaker, and — with HedgeAfter set — hedges slow calls by racing a
+// sibling replica, first response winning. Only when every replica of a
+// slice is down does degradation begin.
+//
+// Degradation is graceful on both paths. Owner-routed queries whose whole
+// slice is down are answered from the gateway's last-good cache, marked
 // "degraded": true with X-Stale-Evidence and X-Missing-Shards headers.
-// Scatter-gather queries return partial results over the live shards, again
-// marked degraded with the missing shard indexes, instead of failing the
-// whole query because one replica died. Readiness is quorum-based: all
-// shards up → ready, at least Quorum up → degraded (200), below quorum →
-// unready (503).
+// Scatter-gather queries return partial results over the live slices, again
+// marked degraded with the missing slice indexes, instead of failing the
+// whole query because one slice died. Readiness is quorum-based over
+// slices, not processes: a slice is up while at least one replica is
+// healthy; all slices up → ready, at least Quorum up → degraded (200),
+// below quorum → unready (503).
 package stalegw
 
 import (
@@ -22,14 +30,17 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"stalecert/internal/dnsname"
 	"stalecert/internal/obs"
+	"stalecert/internal/resil"
 	"stalecert/internal/shard"
 	"stalecert/internal/staleapi"
 	"stalecert/internal/x509sim"
@@ -63,28 +74,53 @@ type Config struct {
 	// serve-stale degradation (defaults 4096, 5s).
 	CacheEntries int
 	CacheTTL     time.Duration
-	// Health receives the shard-quorum probe (default obs.DefaultHealth()).
+	// StaleEntries/StaleTTL bound last-good retention past expiry: at most
+	// StaleEntries expired bodies are kept, none longer than StaleTTL past
+	// expiry (zero values = retain until capacity eviction, the legacy
+	// unbounded behavior).
+	StaleEntries int
+	StaleTTL     time.Duration
+	// HedgeAfter, when > 0, races a sibling replica after this long without
+	// a response (plus error-driven failover, which is always on).
+	HedgeAfter time.Duration
+	// HedgeClock paces the hedge timer (default: the real clock; tests
+	// inject a resil.FakeClock).
+	HedgeClock resil.Clock
+	// Breakers, when set, lets replica selection skip replicas whose
+	// circuit is open before ever dialing them. Share the set wired into
+	// Client so selection sees the same circuits the transport trips.
+	Breakers *resil.BreakerSet
+	// Health receives the slice-quorum probe (default obs.DefaultHealth()).
 	Health *obs.Health
 }
 
-// Gateway routes /v1 queries to the owning shards.
+// Gateway routes /v1 queries to the owning slices' replica groups.
 type Gateway struct {
-	m      shard.Map
-	ring   *shard.Ring
-	addrs  []string
-	client *http.Client
-	cache  *staleapi.Cache
-	health *obs.Health
-	quorum int
+	m        shard.Map
+	ring     *shard.Ring
+	groups   [][]string // per slice: replica base URLs
+	hosts    [][]string // per slice: replica URL hosts (breaker peer keys)
+	client   *http.Client
+	cache    *staleapi.Cache
+	health   *obs.Health
+	quorum   int
+	breakers *resil.BreakerSet
+	hedge    resil.Hedge
 
-	mShardReq []*obs.Counter
-	mShardErr []*obs.Counter
-	gShardUp  []*obs.Gauge
+	rr []atomic.Uint32 // per-slice healthy-replica rotation
 
-	// Probe state: per-shard liveness from the last probe round.
-	probeMu   sync.Mutex
-	probed    bool
-	shardErrs []error
+	mShardReq  []*obs.Counter
+	mShardErr  []*obs.Counter
+	mHedged    []*obs.Counter
+	mHedgeWins []*obs.Counter
+	mFailovers []*obs.Counter
+	gShardUp   []*obs.Gauge
+	gReplicaUp [][]*obs.Gauge
+
+	// Probe state: per-replica liveness from the last probe round.
+	probeMu     sync.Mutex
+	probed      bool
+	replicaErrs [][]error
 }
 
 // New validates the map and builds the gateway.
@@ -93,21 +129,31 @@ func New(cfg Config) (*Gateway, error) {
 	if err != nil {
 		return nil, err
 	}
-	addrs := make([]string, len(cfg.Map.Shards))
+	n := len(cfg.Map.Shards)
+	groups := make([][]string, n)
+	hosts := make([][]string, n)
 	for _, m := range cfg.Map.Shards {
-		if m.Addr == "" {
+		for _, a := range m.Group() {
+			a = strings.TrimRight(a, "/")
+			u, uerr := url.Parse(a)
+			if uerr != nil || u.Host == "" {
+				return nil, fmt.Errorf("stalegw: shard %d: bad replica address %q", m.Index, a)
+			}
+			groups[m.Index] = append(groups[m.Index], a)
+			hosts[m.Index] = append(hosts[m.Index], u.Host)
+		}
+		if len(groups[m.Index]) == 0 {
 			return nil, fmt.Errorf("stalegw: shard %d has no address", m.Index)
 		}
-		addrs[m.Index] = strings.TrimRight(m.Addr, "/")
 	}
 	if cfg.Client == nil {
 		cfg.Client = http.DefaultClient
 	}
 	if cfg.Quorum <= 0 {
-		cfg.Quorum = len(addrs)/2 + 1
+		cfg.Quorum = n/2 + 1
 	}
-	if cfg.Quorum > len(addrs) {
-		return nil, fmt.Errorf("stalegw: quorum %d exceeds %d shards", cfg.Quorum, len(addrs))
+	if cfg.Quorum > n {
+		return nil, fmt.Errorf("stalegw: quorum %d exceeds %d slices", cfg.Quorum, n)
 	}
 	if cfg.CacheEntries == 0 {
 		cfg.CacheEntries = 4096
@@ -118,21 +164,37 @@ func New(cfg Config) (*Gateway, error) {
 	if cfg.Health == nil {
 		cfg.Health = obs.DefaultHealth()
 	}
+	cache := staleapi.NewCache(cfg.CacheEntries, cfg.CacheTTL)
+	cache.SetStaleBounds(cfg.StaleEntries, cfg.StaleTTL)
+	cache.SetSizeGauge(obs.Default().Gauge("stalegw_stale_cache_entries"))
 	g := &Gateway{
-		m:         cfg.Map,
-		ring:      ring,
-		addrs:     addrs,
-		client:    cfg.Client,
-		cache:     staleapi.NewCache(cfg.CacheEntries, cfg.CacheTTL),
-		health:    cfg.Health,
-		quorum:    cfg.Quorum,
-		shardErrs: make([]error, len(addrs)),
+		m:           cfg.Map,
+		ring:        ring,
+		groups:      groups,
+		hosts:       hosts,
+		client:      cfg.Client,
+		cache:       cache,
+		health:      cfg.Health,
+		quorum:      cfg.Quorum,
+		breakers:    cfg.Breakers,
+		hedge:       resil.Hedge{After: cfg.HedgeAfter, Clock: cfg.HedgeClock},
+		rr:          make([]atomic.Uint32, n),
+		replicaErrs: make([][]error, n),
 	}
-	for i := range addrs {
+	for i := range groups {
 		label := strconv.Itoa(i)
+		g.replicaErrs[i] = make([]error, len(groups[i]))
 		g.mShardReq = append(g.mShardReq, obs.Default().Counter("stalegw_shard_requests_total", "shard", label))
 		g.mShardErr = append(g.mShardErr, obs.Default().Counter("stalegw_shard_errors_total", "shard", label))
+		g.mHedged = append(g.mHedged, obs.Default().Counter("stalegw_hedged_requests_total", "shard", label))
+		g.mHedgeWins = append(g.mHedgeWins, obs.Default().Counter("stalegw_hedge_wins_total", "shard", label))
+		g.mFailovers = append(g.mFailovers, obs.Default().Counter("stalegw_failovers_total", "shard", label))
 		g.gShardUp = append(g.gShardUp, obs.Default().Gauge("stalegw_shard_up", "shard", label))
+		var ups []*obs.Gauge
+		for r := range groups[i] {
+			ups = append(ups, obs.Default().Gauge("stalegw_replica_up", "shard", label, "replica", strconv.Itoa(r)))
+		}
+		g.gReplicaUp = append(g.gReplicaUp, ups)
 	}
 	g.health.Register("shard-quorum", g.QuorumProbe)
 	return g, nil
@@ -190,31 +252,91 @@ func (g *Gateway) writeResult(w http.ResponseWriter, res result) {
 	_, _ = w.Write(res.body)
 }
 
-// get performs one raw shard call (no per-shard metrics — probes use it too).
-func (g *Gateway) get(ctx context.Context, idx int, pathq string) (result, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, g.addrs[idx]+pathq, nil)
+// getAddr performs one raw replica call (no per-shard metrics — probes use
+// it too).
+func (g *Gateway) getAddr(ctx context.Context, addr, pathq string) (result, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+pathq, nil)
 	if err != nil {
 		return result{}, err
 	}
 	resp, err := g.client.Do(req)
 	if err != nil {
-		return result{}, fmt.Errorf("shard %d: %w", idx, err)
+		return result{}, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, maxShardBody))
 	if err != nil {
-		return result{}, fmt.Errorf("shard %d: read body: %w", idx, err)
+		return result{}, fmt.Errorf("read body: %w", err)
 	}
 	return result{status: resp.StatusCode, ctype: resp.Header.Get("Content-Type"), body: body}, nil
 }
 
-// fetch is one counted query leg. A 5xx from the shard (after the resilient
-// client's own retries) counts as a leg failure, like a transport error.
-func (g *Gateway) fetch(ctx context.Context, idx int, pathq string) (result, error) {
+// replicaOrder ranks slice idx's replicas for the next call: healthy
+// replicas first, rotated per call so load spreads across siblings, then
+// unhealthy ones as last resorts (a probe round may be stale — a "down"
+// replica can still save a query whose healthy siblings just died).
+// Healthy means the last probe round passed (or none ran yet) AND the
+// replica's circuit breaker is not open.
+func (g *Gateway) replicaOrder(idx int) []int {
+	n := len(g.groups[idx])
+	if n == 1 {
+		return []int{0}
+	}
+	g.probeMu.Lock()
+	probed := g.probed
+	errs := append([]error(nil), g.replicaErrs[idx]...)
+	g.probeMu.Unlock()
+	healthy := make([]int, 0, n)
+	down := make([]int, 0, n)
+	for r := 0; r < n; r++ {
+		ok := !probed || errs[r] == nil
+		if ok && g.breakers != nil && g.breakers.For(g.hosts[idx][r]).State() == resil.Open {
+			ok = false
+		}
+		if ok {
+			healthy = append(healthy, r)
+		} else {
+			down = append(down, r)
+		}
+	}
+	if len(healthy) == 0 {
+		return down
+	}
+	start := int(g.rr[idx].Add(1)-1) % len(healthy)
+	order := make([]int, 0, n)
+	for i := range healthy {
+		order = append(order, healthy[(start+i)%len(healthy)])
+	}
+	return append(order, down...)
+}
+
+// fetchSlice is one counted query leg against a slice: the ranked replicas
+// are raced through resil.HedgeDo — sequential failover on error, a
+// speculative sibling after the hedge delay — and only when every replica
+// fails does the slice count as missing. A 5xx from a replica (after the
+// resilient client's own retries) is a leg failure, like a transport error.
+func (g *Gateway) fetchSlice(ctx context.Context, idx int, pathq string) (result, error) {
 	g.mShardReq[idx].Inc()
-	res, err := g.get(ctx, idx, pathq)
-	if err == nil && res.status >= 500 {
-		err = fmt.Errorf("shard %d: status %d", idx, res.status)
+	order := g.replicaOrder(idx)
+	res, stats, err := resil.HedgeDo(ctx, g.hedge, len(order), func(ctx context.Context, leg int) (result, error) {
+		r := order[leg]
+		res, lerr := g.getAddr(ctx, g.groups[idx][r], pathq)
+		if lerr == nil && res.status >= 500 {
+			lerr = fmt.Errorf("status %d", res.status)
+		}
+		if lerr != nil {
+			return result{}, fmt.Errorf("shard %d replica %d: %w", idx, r, lerr)
+		}
+		return res, nil
+	})
+	if stats.Hedged > 0 {
+		g.mHedged[idx].Add(uint64(stats.Hedged))
+		if stats.HedgedWin {
+			g.mHedgeWins[idx].Inc()
+		}
+	}
+	if stats.Failovers > 0 {
+		g.mFailovers[idx].Add(uint64(stats.Failovers))
 	}
 	if err != nil {
 		g.mShardErr[idx].Inc()
@@ -262,7 +384,7 @@ func (g *Gateway) handleOwnerRouted(w http.ResponseWriter, r *http.Request) {
 	idx := g.ring.Lookup(shard.KeyForDomain(domain))
 	uri := r.URL.RequestURI()
 	v, info, err := g.cache.Do(uri, func() (any, error) {
-		res, ferr := g.fetch(r.Context(), idx, uri)
+		res, ferr := g.fetchSlice(r.Context(), idx, uri)
 		if ferr != nil {
 			return nil, ferr
 		}
@@ -291,17 +413,19 @@ type leg struct {
 	err error
 }
 
-// scatter queries every shard in parallel. Each leg rides the resilient
-// client, so it carries its own trace span, retries and breaker accounting.
+// scatter queries every slice in parallel. Each leg picks the slice's first
+// healthy replica and retries on siblings (fetchSlice), and each replica
+// call rides the resilient client, so it carries its own trace span,
+// retries and breaker accounting.
 func (g *Gateway) scatter(ctx context.Context, pathq string) []leg {
 	mFanouts.Inc()
-	legs := make([]leg, len(g.addrs))
+	legs := make([]leg, len(g.groups))
 	var wg sync.WaitGroup
-	for i := range g.addrs {
+	for i := range g.groups {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, err := g.fetch(ctx, i, pathq)
+			res, err := g.fetchSlice(ctx, i, pathq)
 			legs[i] = leg{idx: i, res: res, err: err}
 		}(i)
 	}
@@ -340,7 +464,7 @@ func (g *Gateway) handleCert(w http.ResponseWriter, r *http.Request) {
 			return *found, nil
 		}
 		if len(missing) > 0 {
-			return nil, fmt.Errorf("fingerprint not found on %d live shards; %d unreachable", len(g.addrs)-len(missing), len(missing))
+			return nil, fmt.Errorf("fingerprint not found on %d live shards; %d unreachable", len(g.groups)-len(missing), len(missing))
 		}
 		return result{status: http.StatusNotFound, ctype: "application/json; charset=utf-8",
 			body: []byte("{\n  \"error\": \"unknown fingerprint\"\n}\n")}, nil
@@ -401,7 +525,7 @@ func (g *Gateway) handleDomains(w http.ResponseWriter, r *http.Request) {
 		merged.Total += dr.Total
 		merged.Domains = append(merged.Domains, dr.Domains...)
 	}
-	if len(merged.MissingShards) == len(g.addrs) {
+	if len(merged.MissingShards) == len(g.groups) {
 		writeJSON(w, http.StatusBadGateway, errorJSON{Error: "all shards unreachable", MissingShards: merged.MissingShards})
 		return
 	}
@@ -436,50 +560,69 @@ func (g *Gateway) handleShardmap(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, g.m)
 }
 
-// probeShard checks one replica is ready AND agrees with the gateway's map:
-// a live shard holding a different ring (wrong epoch, vnodes, slice...)
-// would silently mis-route, so it counts as down.
-func (g *Gateway) probeShard(ctx context.Context, idx int) error {
-	res, err := g.get(ctx, idx, "/readyz")
+// probeReplica checks one replica of one slice is ready AND agrees with the
+// gateway's map: a live replica holding a different ring (wrong epoch,
+// vnodes, slice...) would silently mis-route, so it counts as down.
+func (g *Gateway) probeReplica(ctx context.Context, idx, r int) error {
+	addr := g.groups[idx][r]
+	res, err := g.getAddr(ctx, addr, "/readyz")
 	if err != nil {
-		return err
+		return fmt.Errorf("shard %d replica %d: %w", idx, r, err)
 	}
 	if res.status != http.StatusOK {
-		return fmt.Errorf("shard %d: readyz status %d", idx, res.status)
+		return fmt.Errorf("shard %d replica %d: readyz status %d", idx, r, res.status)
 	}
-	res, err = g.get(ctx, idx, "/v1/shardmap")
+	res, err = g.getAddr(ctx, addr, "/v1/shardmap")
 	if err != nil {
-		return err
+		return fmt.Errorf("shard %d replica %d: %w", idx, r, err)
 	}
 	if res.status != http.StatusOK {
-		return fmt.Errorf("shard %d: shardmap status %d", idx, res.status)
+		return fmt.Errorf("shard %d replica %d: shardmap status %d", idx, r, res.status)
 	}
 	var self shard.Self
 	if err := json.Unmarshal(res.body, &self); err != nil {
-		return fmt.Errorf("shard %d: bad shardmap document: %w", idx, err)
+		return fmt.Errorf("shard %d replica %d: bad shardmap document: %w", idx, r, err)
 	}
-	return g.m.Agrees(idx, self)
+	if err := g.m.Agrees(idx, self); err != nil {
+		return fmt.Errorf("replica %d: %w", r, err)
+	}
+	return nil
 }
 
-// ProbeOnce runs one probe round over every shard, updating the liveness
-// state behind QuorumProbe and the stalegw_shard_up gauges.
+// ProbeOnce runs one probe round over every replica of every slice,
+// updating the liveness state behind QuorumProbe (and replicaOrder) and the
+// stalegw_shard_up / stalegw_replica_up gauges.
 func (g *Gateway) ProbeOnce(ctx context.Context) {
-	errs := make([]error, len(g.addrs))
+	errs := make([][]error, len(g.groups))
 	var wg sync.WaitGroup
-	for i := range g.addrs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			errs[i] = g.probeShard(ctx, i)
-		}(i)
+	for i := range g.groups {
+		errs[i] = make([]error, len(g.groups[i]))
+		for r := range g.groups[i] {
+			wg.Add(1)
+			go func(i, r int) {
+				defer wg.Done()
+				errs[i][r] = g.probeReplica(ctx, i, r)
+			}(i, r)
+		}
 	}
 	wg.Wait()
 	g.probeMu.Lock()
 	g.probed = true
-	copy(g.shardErrs, errs)
+	for i := range errs {
+		copy(g.replicaErrs[i], errs[i])
+	}
 	g.probeMu.Unlock()
-	for i, err := range errs {
-		if err == nil {
+	for i := range errs {
+		sliceUp := false
+		for r, err := range errs[i] {
+			if err == nil {
+				sliceUp = true
+				g.gReplicaUp[i][r].Set(1)
+			} else {
+				g.gReplicaUp[i][r].Set(0)
+			}
+		}
+		if sliceUp {
 			g.gShardUp[i].Set(1)
 		} else {
 			g.gShardUp[i].Set(0)
@@ -500,9 +643,12 @@ func (g *Gateway) RunProbes(ctx context.Context, interval time.Duration) {
 	}
 }
 
-// QuorumProbe is the gateway's readiness: all shards up → ready; at least
-// the quorum up → degraded (200 — partial answers still serve); below
-// quorum, or before the first probe round, → unready (503).
+// QuorumProbe is the gateway's readiness, computed over slices, not
+// processes: a slice is up while at least one of its replicas passed the
+// last probe round, so losing one replica of a replicated slice keeps the
+// fleet fully ready. All slices up → ready; at least the quorum up →
+// degraded (200 — partial answers still serve); below quorum, or before the
+// first probe round, → unready (503).
 func (g *Gateway) QuorumProbe(context.Context) error {
 	g.probeMu.Lock()
 	defer g.probeMu.Unlock()
@@ -511,19 +657,30 @@ func (g *Gateway) QuorumProbe(context.Context) error {
 	}
 	up := 0
 	var firstDown error
-	for _, err := range g.shardErrs {
-		if err == nil {
+	for _, errs := range g.replicaErrs {
+		sliceUp := false
+		var sliceErr error
+		for _, err := range errs {
+			if err == nil {
+				sliceUp = true
+				break
+			} else if sliceErr == nil {
+				sliceErr = err
+			}
+		}
+		if sliceUp {
 			up++
 		} else if firstDown == nil {
-			firstDown = err
+			firstDown = sliceErr
 		}
 	}
+	n := len(g.replicaErrs)
 	switch {
-	case up == len(g.shardErrs):
+	case up == n:
 		return nil
 	case up >= g.quorum:
-		return obs.Degraded(fmt.Errorf("%d/%d shards up (quorum %d): %v", up, len(g.shardErrs), g.quorum, firstDown))
+		return obs.Degraded(fmt.Errorf("%d/%d slices up (quorum %d): %v", up, n, g.quorum, firstDown))
 	default:
-		return fmt.Errorf("%d/%d shards up, below quorum %d: %v", up, len(g.shardErrs), g.quorum, firstDown)
+		return fmt.Errorf("%d/%d slices up, below quorum %d: %v", up, n, g.quorum, firstDown)
 	}
 }

@@ -362,3 +362,227 @@ func TestGatewayShardmap(t *testing.T) {
 		t.Fatalf("map = %+v", m)
 	}
 }
+
+// newReplicatedFleet builds n slices with reps replicas each plus a gateway.
+// Returns shards indexed [slice][replica].
+func newReplicatedFleet(t *testing.T, n, reps int, cfg Config, wire func(slice, replica int, mux *http.ServeMux)) ([][]*fakeShard, *Gateway) {
+	t.Helper()
+	shards := make([][]*fakeShard, n)
+	groups := make([][]string, n)
+	for i := range shards {
+		for r := 0; r < reps; r++ {
+			i, r := i, r
+			f := newFakeShard(t, i, n, 1, func(mux *http.ServeMux) {
+				if wire != nil {
+					wire(i, r, mux)
+				}
+			})
+			shards[i] = append(shards[i], f)
+			groups[i] = append(groups[i], f.ts.URL)
+		}
+	}
+	cfg.Map = shard.NewReplicatedMap(1, shard.DefaultVNodes, groups)
+	cfg.Health = obs.NewHealth()
+	gw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return shards, gw
+}
+
+// domainsOwnedBy returns count distinct domains the ring places on slice idx.
+func domainsOwnedBy(t *testing.T, n, idx, count int) []string {
+	t.Helper()
+	ring := shard.MustRing(n, shard.DefaultVNodes)
+	var out []string
+	for i := 0; len(out) < count && i < 10000; i++ {
+		d := fmt.Sprintf("owned%04d.com", i)
+		if ring.Lookup(shard.KeyForDomain(d)) == idx {
+			out = append(out, d)
+		}
+	}
+	if len(out) < count {
+		t.Fatal("could not find enough domains for the slice")
+	}
+	return out
+}
+
+// Killing one replica of a slice must be invisible: owner routes fail over
+// to the sibling, answers stay 200 and non-degraded, and the failover
+// counter advances.
+func TestReplicaFailoverOnDeath(t *testing.T) {
+	shards, gw := newReplicatedFleet(t, 2, 2, Config{}, func(slice, replica int, mux *http.ServeMux) {
+		mux.HandleFunc("GET /v1/domain/{e2ld}/staleness", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintf(w, `{"domain":%q,"slice":%d}`, r.PathValue("e2ld"), slice)
+		})
+	})
+	failovers := obs.Default().Counter("stalegw_failovers_total", "shard", "0")
+	before := failovers.Value()
+
+	shards[0][0].ts.Close() // no probe round yet: the gateway can't know
+
+	for _, d := range domainsOwnedBy(t, 2, 0, 6) {
+		resp, body := gwGet(t, gw, "/v1/domain/"+d+"/staleness")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", d, resp.StatusCode, body)
+		}
+		if strings.Contains(string(body), "degraded") {
+			t.Fatalf("%s: degraded answer with a live sibling: %s", d, body)
+		}
+		if got := resp.Header.Get(MissingShardsHeader); got != "" {
+			t.Fatalf("%s: %s = %q with a live sibling", d, MissingShardsHeader, got)
+		}
+	}
+	// Round-robin put the dead replica first on ~half the calls; each such
+	// call failed over to the sibling.
+	if failovers.Value() == before {
+		t.Fatal("failover counter did not advance")
+	}
+}
+
+// After a probe round marks a replica down, replicaOrder puts it last: no
+// failovers are needed any more, the sibling is dialed first.
+func TestReplicaOrderAfterProbe(t *testing.T) {
+	shards, gw := newReplicatedFleet(t, 2, 2, Config{}, func(slice, replica int, mux *http.ServeMux) {
+		mux.HandleFunc("GET /v1/domain/{e2ld}/staleness", func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprint(w, `{"ok":true}`)
+		})
+	})
+	shards[0][1].ts.Close()
+	gw.ProbeOnce(context.Background())
+	shards[0][0].hits.Store(0) // the probe's own /v1/shardmap hit
+
+	failovers := obs.Default().Counter("stalegw_failovers_total", "shard", "0")
+	before := failovers.Value()
+	for _, d := range domainsOwnedBy(t, 2, 0, 6) {
+		resp, _ := gwGet(t, gw, "/v1/domain/"+d+"/staleness")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", d, resp.StatusCode)
+		}
+	}
+	if got := failovers.Value(); got != before {
+		t.Fatalf("%d failovers after the probe marked the replica down, want 0", got-before)
+	}
+	if hits := shards[0][0].hits.Load(); hits != 6 {
+		t.Fatalf("live replica served %d of 6 queries", hits)
+	}
+}
+
+// A slow replica is hedged: after HedgeAfter the sibling is raced and its
+// fast answer wins, visible in the hedge counters.
+func TestReplicaHedging(t *testing.T) {
+	slow := 0 // replica 0 of every slice answers slowly
+	shards, gw := newReplicatedFleet(t, 2, 2, Config{HedgeAfter: 2 * time.Millisecond},
+		func(slice, replica int, mux *http.ServeMux) {
+			mux.HandleFunc("GET /v1/domain/{e2ld}/staleness", func(w http.ResponseWriter, r *http.Request) {
+				if replica == slow {
+					select {
+					case <-r.Context().Done():
+						return
+					case <-time.After(300 * time.Millisecond):
+					}
+				}
+				fmt.Fprint(w, `{"ok":true}`)
+			})
+		})
+	_ = shards
+	hedged := obs.Default().Counter("stalegw_hedged_requests_total", "shard", "0")
+	wins := obs.Default().Counter("stalegw_hedge_wins_total", "shard", "0")
+	beforeHedged, beforeWins := hedged.Value(), wins.Value()
+
+	for _, d := range domainsOwnedBy(t, 2, 0, 6) {
+		start := time.Now()
+		resp, _ := gwGet(t, gw, "/v1/domain/"+d+"/staleness")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", d, resp.StatusCode)
+		}
+		if time.Since(start) > 250*time.Millisecond {
+			t.Fatalf("%s: waited out the slow replica instead of hedging", d)
+		}
+	}
+	if hedged.Value() == beforeHedged {
+		t.Fatal("hedged-requests counter did not advance")
+	}
+	if wins.Value() == beforeWins {
+		t.Fatal("hedge-wins counter did not advance")
+	}
+}
+
+// Readiness is per-slice: one dead replica of a replicated slice keeps the
+// fleet fully ready; a fully-dead slice degrades it.
+func TestPerSliceQuorumReadiness(t *testing.T) {
+	shards, gw := newReplicatedFleet(t, 2, 2, Config{Quorum: 1}, nil)
+	ctx := context.Background()
+	gw.ProbeOnce(ctx)
+	if err := gw.QuorumProbe(ctx); err != nil {
+		t.Fatalf("all-up fleet not ready: %v", err)
+	}
+
+	shards[0][0].ts.Close()
+	gw.ProbeOnce(ctx)
+	if err := gw.QuorumProbe(ctx); err != nil {
+		t.Fatalf("1 dead replica of 2: err = %v, want fully ready", err)
+	}
+	if v := obs.Default().Gauge("stalegw_replica_up", "shard", "0", "replica", "0").Value(); v != 0 {
+		t.Fatalf("replica_up{0,0} = %v, want 0", v)
+	}
+	if v := obs.Default().Gauge("stalegw_replica_up", "shard", "0", "replica", "1").Value(); v != 1 {
+		t.Fatalf("replica_up{0,1} = %v, want 1", v)
+	}
+	if v := obs.Default().Gauge("stalegw_shard_up", "shard", "0").Value(); v != 1 {
+		t.Fatalf("shard_up{0} = %v, want 1 (slice still has a live replica)", v)
+	}
+
+	shards[0][1].ts.Close()
+	gw.ProbeOnce(ctx)
+	err := gw.QuorumProbe(ctx)
+	if err == nil || !obs.IsDegraded(err) {
+		t.Fatalf("dead slice with quorum 1: err = %v, want degraded", err)
+	}
+	if v := obs.Default().Gauge("stalegw_shard_up", "shard", "0").Value(); v != 0 {
+		t.Fatalf("shard_up{0} = %v, want 0", v)
+	}
+}
+
+// Scatter legs fail over per-slice too: a dead replica must not punch an
+// X-Missing-Shards hole while its sibling lives.
+func TestScatterReplicaFailover(t *testing.T) {
+	lists := [][]string{{"alpha.com"}, {"beta.org"}}
+	shards, gw := newReplicatedFleet(t, 2, 2, Config{}, func(slice, replica int, mux *http.ServeMux) {
+		mux.HandleFunc("GET /v1/domains", func(w http.ResponseWriter, _ *http.Request) {
+			_ = json.NewEncoder(w).Encode(map[string]any{"domains": lists[slice], "total": len(lists[slice])})
+		})
+	})
+	shards[1][0].ts.Close()
+	for i := 0; i < 4; i++ { // both round-robin phases
+		resp, body := gwGet(t, gw, "/v1/domains")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		var dr DomainsResponse
+		if err := json.Unmarshal(body, &dr); err != nil {
+			t.Fatal(err)
+		}
+		if dr.Degraded || dr.Total != 2 || len(dr.Domains) != 2 {
+			t.Fatalf("degraded merge with live siblings: %+v", dr)
+		}
+	}
+}
+
+// The gateway's serve-stale cache exports its entry count and honors the
+// stale-retention TTL bound.
+func TestStaleCacheGaugeAndBounds(t *testing.T) {
+	_, gw := newReplicatedFleet(t, 2, 1, Config{CacheTTL: time.Millisecond, StaleTTL: 10 * time.Millisecond},
+		func(slice, replica int, mux *http.ServeMux) {
+			mux.HandleFunc("GET /v1/domain/{e2ld}/staleness", func(w http.ResponseWriter, _ *http.Request) {
+				fmt.Fprint(w, `{"ok":true}`)
+			})
+		})
+	d := domainsOwnedBy(t, 2, 0, 1)[0]
+	if resp, _ := gwGet(t, gw, "/v1/domain/"+d+"/staleness"); resp.StatusCode != http.StatusOK {
+		t.Fatal("warm-up failed")
+	}
+	if v := obs.Default().Gauge("stalegw_stale_cache_entries").Value(); v < 1 {
+		t.Fatalf("stalegw_stale_cache_entries = %v, want >= 1", v)
+	}
+}
