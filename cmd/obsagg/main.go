@@ -10,7 +10,13 @@
 // burn-rate alerts (slo_alert_firing on any target) and per-job error-log
 // bursts above -error-burst-threshold raise structured log alerts;
 // -alert-rearm re-fires a still-active alert after a quiet period instead of
-// once ever.
+// once ever. Every round's samples are also appended to an in-memory
+// time-series database (bounded by -tsdb-retention and -tsdb-max-series)
+// that answers instant and range expression queries at /fleet/query —
+// rate(), increase(), irate(), *_over_time(), histogram_quantile() and
+// by-label aggregation — and drives -record recording rules and -alert-rule
+// alert rules, evaluated each round on the same engine as the built-in
+// alert families.
 //
 // Usage:
 //
@@ -18,6 +24,8 @@
 //	       [-addr 127.0.0.1:8790] [-scrape-interval 10s] [-error-rate-threshold 0.1]
 //	       [-fleet-trace-slow 1s] [-fleet-trace-buffer 512] [-alert-rearm 5m]
 //	       [-fleet-log-buffer 4096] [-error-burst-threshold 1]
+//	       [-tsdb-retention 15m] [-tsdb-max-series 50000]
+//	       [-record name=expr ...] [-alert-rule name=expr ...]
 //	       [-debug-addr 127.0.0.1:0] [-log-format text|json] [-log-buffer 1024]
 //	       [-trace-buffer 256] [-trace-sample 0.1] [-trace-slow 250ms]
 //	       [-slo availability:99.9,latency:99:250ms] [-profile-dir DIR]
@@ -38,6 +46,8 @@
 //	/fleet/logs         merged per-daemon log rings, time-ordered and instance-labelled
 //	                    (?level=, ?trace=, ?since=, ?q=, ?limit=, ?job=, ?instance=)
 //	/fleet/slo          per-job SLO burn rates, budget remaining and firing severities
+//	/fleet/query        expression queries over the TSDB: ?query= with ?time=
+//	                    (instant) or ?start=&end=&step= (range)
 //	/healthz            liveness
 //	/readyz             ready once the first scrape round completes
 package main
@@ -69,6 +79,30 @@ func main() {
 		"merged log records retained in the fleet view")
 	errorBurst := flag.Float64("error-burst-threshold", 1,
 		"per-job error-log records/second (from federated log_records_total) that raises a fleet alert (0 disables)")
+	tsdbRetention := flag.Duration("tsdb-retention", obs.DefaultTSDBRetention,
+		"how much per-series history the fleet TSDB retains (also the staleness window for vanished targets)")
+	tsdbMaxSeries := flag.Int("tsdb-max-series", obs.DefaultTSDBMaxSeries,
+		"cap on live TSDB series; appends past it are dropped and counted")
+	var recordingRules []obs.RecordingRule
+	flag.Func("record", "recording rule name=expr, evaluated each round into the TSDB (repeatable)",
+		func(spec string) error {
+			r, err := obs.ParseRecordingRule(spec)
+			if err != nil {
+				return err
+			}
+			recordingRules = append(recordingRules, r)
+			return nil
+		})
+	var alertRules []obs.AlertRule
+	flag.Func("alert-rule", "alert rule name=expr, logged and counted while breaching (repeatable)",
+		func(spec string) error {
+			r, err := obs.ParseAlertRule(spec)
+			if err != nil {
+				return err
+			}
+			alertRules = append(alertRules, r)
+			return nil
+		})
 	obsFlags := obs.BindFlags(flag.CommandLine)
 	var rf resil.Flags
 	rf.BindFlags(flag.CommandLine)
@@ -95,6 +129,9 @@ func main() {
 		AlertRearm:          *alertRearm,
 		FleetLogBuffer:      *fleetLogBuffer,
 		ErrorBurstThreshold: *errorBurst,
+		TSDB:                &obs.TSDB{Retention: *tsdbRetention, MaxSeries: *tsdbMaxSeries},
+		RecordingRules:      recordingRules,
+		AlertRules:          alertRules,
 		SelfJob:             "obsagg",
 		Client:              resil.NewHTTPClient(rf.Options("obsagg")),
 	}
@@ -118,7 +155,7 @@ func main() {
 
 	logger.Info("serving federated metrics", "targets", len(parsed), "addr", *addr,
 		"interval", interval.String(),
-		"endpoints", "/metrics /fleet /fleet/traces /fleet/traces/{id} /fleet/logs /fleet/slo /healthz /readyz")
+		"endpoints", "/metrics /fleet /fleet/traces /fleet/traces/{id} /fleet/logs /fleet/slo /fleet/query /healthz /readyz")
 
 	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)

@@ -21,12 +21,19 @@
 //	          [-mode open|closed] [-mix staleness:40,cert:50,getentries:10]
 //	          [-zipf-s 1.1] [-seed 1] [-warmup 0.1] [-timeout 5s]
 //	          [-out .] [-sha auto] [-max-error-rate 0] [-log-buffer 1024]
-//	          [-target-gateway]
+//	          [-target-gateway] [-target-metrics http://127.0.0.1:8796/metrics]
 //
 // With -target-gateway the target is a stalegw fleet: the generator reads
 // the gateway's /v1/shardmap and records the topology (gateway: true plus
 // the shard count) in the BENCH config, keeping gateway points distinct
 // from direct single-daemon points in the trajectory.
+//
+// With -target-metrics the generator scrapes the target's /metrics surface
+// (usually its debug listener) immediately before and after the measured
+// run and embeds the server-side deltas — request and 5xx totals plus
+// p50/p99 derived from http_request_seconds bucket deltas — in the report's
+// "server" section, so the BENCH point records both where the client waited
+// and where the server actually spent it.
 //
 // Ops: "staleness" GETs /v1/domain/{e2ld}/staleness and "cert" GETs
 // /v1/cert/{fp} on -target; "getentries" GETs a window of /ct/v1/get-entries
@@ -43,6 +50,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"os/exec"
@@ -65,6 +73,7 @@ import (
 func main() {
 	target := flag.String("target", "http://127.0.0.1:8786", "staleapid (or stalegw) base URL")
 	targetGateway := flag.Bool("target-gateway", false, "the target is a stalegw fleet: record its topology (shard count) in the BENCH config")
+	targetMetrics := flag.String("target-metrics", "", "target /metrics URL to scrape before and after the run; embeds server-side deltas in the report")
 	ctURL := flag.String("ct", "", "ctlogd base URL (required for discovery and the getentries/addchain ops)")
 	scenario := flag.String("scenario", "steady", "scenario name recorded in the BENCH file")
 	qps := flag.Float64("qps", 200, "open-loop target request rate")
@@ -117,6 +126,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	var before []obs.Sample
+	if *targetMetrics != "" {
+		if before, err = scrapeMetrics(ctx, hc, *targetMetrics); err != nil {
+			logger.Error("pre-run metrics scrape failed", "url", *targetMetrics, "err", err)
+			os.Exit(1)
+		}
+	}
+
 	logger.Info("starting load", "scenario", *scenario, "mode", *mode, "qps", *qps,
 		"duration", *duration, "workers", *workers, "mix", *mix, "seed", *seed)
 	res, err := loadgen.Run(ctx, loadgen.Config{
@@ -149,6 +166,17 @@ func main() {
 		rep.Config.Gateway = true
 		rep.Config.Shards = shards
 		rep.Config.Replicas = replicas
+	}
+	if *targetMetrics != "" {
+		after, serr := scrapeMetrics(ctx, hc, *targetMetrics)
+		if serr != nil {
+			logger.Error("post-run metrics scrape failed", "url", *targetMetrics, "err", serr)
+			os.Exit(1)
+		}
+		rep.Server = serverDelta(before, after)
+		logger.Info("server-side deltas", "requests", rep.Server.Requests,
+			"errors", rep.Server.Errors,
+			"p50_ms", rep.Server.P50Ms, "p99_ms", rep.Server.P99Ms)
 	}
 	path, err := rep.WriteReport(*outDir)
 	if err != nil {
@@ -439,6 +467,78 @@ func gatewayTopology(ctx context.Context, hc *http.Client, target string) (shard
 		}
 	}
 	return len(m.Shards), replicas, nil
+}
+
+// scrapeMetrics fetches and parses one Prometheus exposition snapshot from
+// the target's /metrics surface.
+func scrapeMetrics(ctx context.Context, hc *http.Client, url string) ([]obs.Sample, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return obs.ParseProm(resp.Body)
+}
+
+// serverDelta subtracts the pre-run snapshot from the post-run one: request
+// and 5xx totals across every http_requests_total series, and p50/p99 from
+// the merged http_request_seconds bucket deltas. A series missing from the
+// pre-run snapshot (or counted lower — a restart mid-run) contributes its
+// post-run value whole.
+func serverDelta(before, after []obs.Sample) *loadgen.ServerSide {
+	prev := make(map[string]obs.Sample, len(before))
+	for _, s := range before {
+		prev[s.Name+s.Labels] = s
+	}
+	var requests, errors float64
+	bucketDelta := make(map[float64]float64)
+	for _, s := range after {
+		p, seen := prev[s.Name+s.Labels]
+		switch {
+		case s.Name == "http_requests_total" && s.Kind == obs.KindCounter:
+			d := s.Value
+			if seen && p.Value <= s.Value {
+				d -= p.Value
+			}
+			requests += d
+			if obs.LabelValue(s, "code") == "5xx" {
+				errors += d
+			}
+		case s.Name == "http_request_seconds" && s.Kind == obs.KindHistogram:
+			for i, b := range s.Buckets {
+				d := float64(b.Count)
+				if seen && i < len(p.Buckets) && p.Buckets[i].UpperBound == b.UpperBound &&
+					p.Buckets[i].Count <= b.Count {
+					d -= float64(p.Buckets[i].Count)
+				}
+				bucketDelta[b.UpperBound] += d
+			}
+		}
+	}
+	bounds := make([]float64, 0, len(bucketDelta))
+	for le := range bucketDelta {
+		bounds = append(bounds, le)
+	}
+	sort.Float64s(bounds)
+	merged := make([]obs.BucketCount, 0, len(bounds))
+	for _, le := range bounds {
+		merged = append(merged, obs.BucketCount{UpperBound: le, Count: uint64(bucketDelta[le] + 0.5)})
+	}
+	ss := &loadgen.ServerSide{Requests: uint64(requests + 0.5), Errors: uint64(errors + 0.5)}
+	if p50 := obs.HistogramQuantile(0.5, merged); !math.IsNaN(p50) {
+		ss.P50Ms = p50 * 1000
+	}
+	if p99 := obs.HistogramQuantile(0.99, merged); !math.IsNaN(p99) {
+		ss.P99Ms = p99 * 1000
+	}
+	return ss
 }
 
 // headSHA resolves the working tree's short commit SHA; "dev" when git is

@@ -1,0 +1,276 @@
+// Command stalestat is the fleet query client: it asks obsagg's /fleet/query
+// endpoint expression questions and renders the answers in a terminal.
+//
+// Two modes:
+//
+//	stalestat [-agg URL] query '<expr>' [-time T] [-start T -end T -step D]
+//	    one-shot: print the raw JSON answer (Prometheus HTTP API shape) to
+//	    stdout and exit 0 on success, 1 on any error — for scripts and CI.
+//
+//	stalestat [-agg URL] top [-interval 2s] [-count N] [-window 30s] [-plain]
+//	    a top-style live fleet view: one row per job with QPS, error rate,
+//	    p50/p99 server latency, SLO burn rate and open circuit breakers,
+//	    refreshed every -interval. -count bounds the frames (0 = forever);
+//	    -plain skips the ANSI screen clearing for logs and non-TTYs.
+//
+// Examples:
+//
+//	stalestat query 'sum by (job) (rate(http_requests_total[1m]))'
+//	stalestat query 'histogram_quantile(0.99, sum by (le) (rate(http_request_seconds_bucket[5m])))'
+//	stalestat -agg http://127.0.0.1:8790 top -interval 1s -count 10
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+func main() {
+	agg := flag.String("agg", "http://127.0.0.1:8790", "obsagg base URL")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch args[0] {
+	case "query":
+		err = runQuery(*agg, args[1:])
+	case "top":
+		err = runTop(*agg, args[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "stalestat: unknown command %q\n", args[0])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stalestat:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  stalestat [-agg URL] query '<expr>' [-time T] [-start T -end T -step D]
+  stalestat [-agg URL] top [-interval 2s] [-count N] [-window 30s] [-plain]
+`)
+}
+
+// queryResponse mirrors the /fleet/query answer shape.
+type queryResponse struct {
+	Status string `json:"status"`
+	Error  string `json:"error"`
+	Data   struct {
+		ResultType string          `json:"resultType"`
+		Result     json.RawMessage `json:"result"`
+	} `json:"data"`
+}
+
+func fetch(aggURL, query string, params url.Values) (*queryResponse, []byte, error) {
+	if params == nil {
+		params = url.Values{}
+	}
+	params.Set("query", query)
+	u := strings.TrimSuffix(aggURL, "/") + "/fleet/query?" + params.Encode()
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(u)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, nil, err
+	}
+	var qr queryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		return nil, body, fmt.Errorf("bad response (%d): %v", resp.StatusCode, err)
+	}
+	if qr.Status != "success" {
+		return &qr, body, fmt.Errorf("query failed: %s", qr.Error)
+	}
+	return &qr, body, nil
+}
+
+func runQuery(agg string, args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	at := fs.String("time", "", "instant query evaluation time (unix seconds or RFC3339; default now)")
+	start := fs.String("start", "", "range query start")
+	end := fs.String("end", "", "range query end")
+	step := fs.String("step", "", "range query step (e.g. 15s)")
+	// Accept both `query <expr> -time T` and `query -time T <expr>`.
+	var rest []string
+	var expr string
+	for _, a := range args {
+		if expr == "" && !strings.HasPrefix(a, "-") && len(rest)%2 == 0 {
+			expr = a
+			continue
+		}
+		rest = append(rest, a)
+	}
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if expr == "" && fs.NArg() > 0 {
+		expr = fs.Arg(0)
+	}
+	if expr == "" {
+		return fmt.Errorf("query needs an expression argument")
+	}
+	params := url.Values{}
+	if *at != "" {
+		params.Set("time", *at)
+	}
+	if *start != "" || *end != "" {
+		params.Set("start", *start)
+		params.Set("end", *end)
+		if *step != "" {
+			params.Set("step", *step)
+		}
+	}
+	_, body, err := fetch(agg, expr, params)
+	if body != nil {
+		os.Stdout.Write(body)
+		if len(body) > 0 && body[len(body)-1] != '\n' {
+			fmt.Println()
+		}
+	}
+	return err
+}
+
+// vectorResult decodes a vector answer into label-set → value.
+type vectorEntry struct {
+	Metric map[string]string `json:"metric"`
+	Value  [2]any            `json:"value"`
+}
+
+func vectorByJob(qr *queryResponse) map[string]float64 {
+	out := map[string]float64{}
+	if qr == nil || qr.Data.ResultType != "vector" {
+		return out
+	}
+	var entries []vectorEntry
+	if err := json.Unmarshal(qr.Data.Result, &entries); err != nil {
+		return out
+	}
+	for _, e := range entries {
+		s, ok := e.Value[1].(string)
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			continue
+		}
+		out[e.Metric["job"]] = v
+	}
+	return out
+}
+
+type topRow struct {
+	job          string
+	qps, errRate float64
+	p50, p99     float64
+	burn         float64
+	openBreakers float64
+}
+
+// topQueries gathers one frame of the fleet view.
+func topQueries(agg, window string) ([]topRow, error) {
+	q := func(expr string) (map[string]float64, error) {
+		qr, _, err := fetch(agg, expr, nil)
+		if err != nil {
+			return nil, err
+		}
+		return vectorByJob(qr), nil
+	}
+	qps, err := q(`sum by (job) (rate(http_requests_total[` + window + `]))`)
+	if err != nil {
+		return nil, err // the first query reports connectivity problems
+	}
+	errRate, _ := q(`sum by (job) (rate(http_requests_total{code="5xx"}[` + window + `])) / sum by (job) (rate(http_requests_total[` + window + `]))`)
+	p50, _ := q(`histogram_quantile(0.5, sum by (job, le) (rate(http_request_seconds_bucket[` + window + `])))`)
+	p99, _ := q(`histogram_quantile(0.99, sum by (job, le) (rate(http_request_seconds_bucket[` + window + `])))`)
+	burn, _ := q(`max by (job) (slo_burn_rate)`)
+	breakers, _ := q(`sum by (job) (resil_breaker_state == 1)`)
+
+	jobs := map[string]bool{}
+	for _, m := range []map[string]float64{qps, errRate, p50, p99, burn, breakers} {
+		for j := range m {
+			jobs[j] = true
+		}
+	}
+	rows := make([]topRow, 0, len(jobs))
+	for j := range jobs {
+		rows = append(rows, topRow{job: j, qps: qps[j], errRate: errRate[j],
+			p50: p50[j], p99: p99[j], burn: burn[j], openBreakers: breakers[j]})
+	}
+	sort.Slice(rows, func(i, k int) bool { return rows[i].job < rows[k].job })
+	return rows, nil
+}
+
+func fmtLatency(secs float64) string {
+	if secs == 0 || math.IsNaN(secs) {
+		return "-"
+	}
+	return time.Duration(secs * float64(time.Second)).Round(10 * time.Microsecond).String()
+}
+
+func fmtRate(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return strconv.FormatFloat(v, 'f', 1, 64)
+}
+
+func renderTop(w io.Writer, agg string, rows []topRow, frame int) {
+	fmt.Fprintf(w, "stalestat top — %s — frame %d — %s\n\n", agg, frame, time.Now().Format(time.TimeOnly))
+	fmt.Fprintf(w, "%-12s %10s %8s %12s %12s %8s %9s\n",
+		"JOB", "QPS", "ERR%", "P50", "P99", "BURN", "OPEN-BRK")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %10s %8s %12s %12s %8s %9.0f\n",
+			r.job, fmtRate(r.qps), fmtRate(r.errRate*100),
+			fmtLatency(r.p50), fmtLatency(r.p99), fmtRate(r.burn), r.openBreakers)
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "(no jobs — is obsagg scraping yet?)")
+	}
+}
+
+func runTop(agg string, args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	count := fs.Int("count", 0, "frames to render before exiting (0 = forever)")
+	window := fs.Duration("window", 30*time.Second, "rate window for QPS/error/latency queries")
+	plain := fs.Bool("plain", false, "no ANSI clear between frames (for logs and CI)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	win := window.String()
+	for frame := 1; ; frame++ {
+		rows, err := topQueries(agg, win)
+		if err != nil {
+			return err
+		}
+		if !*plain {
+			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		renderTop(os.Stdout, agg, rows, frame)
+		if *count > 0 && frame >= *count {
+			return nil
+		}
+		time.Sleep(*interval)
+	}
+}

@@ -1,0 +1,65 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// The server section is additive on schema v1: a BENCH file written before
+// server-side deltas existed must still read (with Server nil), a report
+// carrying one must round-trip it, and a run without -target-metrics must
+// not serialize the key at all.
+func TestBenchReportServerSideAdditive(t *testing.T) {
+	legacy := `{
+  "schema_version": 1,
+  "scenario": "steady",
+  "git_sha": "3d4cc30",
+  "timestamp": "2026-08-07T00:00:00Z",
+  "config": {"mode": "open", "target_qps": 200, "workers": 16, "duration_s": 15,
+             "seed": 1, "zipf_s": 1.1, "zipf_n": 120, "mix": "staleness:40,cert:50,getentries:10"},
+  "totals": {"requests": 10, "errors": 0, "error_rate": 0, "bytes": 100, "qps": 1,
+             "latency": {"p50_ms": 1, "p90_ms": 1, "p99_ms": 1, "p999_ms": 1, "max_ms": 1, "mean_ms": 1}},
+  "endpoints": {"cert": {"requests": 10, "errors": 0, "error_rate": 0, "bytes": 100, "qps": 1,
+             "latency": {"p50_ms": 1, "p90_ms": 1, "p99_ms": 1, "p999_ms": 1, "max_ms": 1, "mean_ms": 1}}},
+  "dropped": 0
+}`
+	path := filepath.Join(t.TempDir(), "BENCH_steady_3d4cc30.json")
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadReport(path)
+	if err != nil {
+		t.Fatalf("pre-server BENCH file no longer reads: %v", err)
+	}
+	if rep.Server != nil {
+		t.Fatalf("legacy report grew a server section: %+v", rep.Server)
+	}
+
+	rep.Server = &ServerSide{Requests: 2960, Errors: 3, P50Ms: 0.4, P99Ms: 2.1}
+	rep.Timestamp = time.Now().UTC()
+	out, err := rep.WriteReport(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Server == nil || *back.Server != *rep.Server {
+		t.Fatalf("server section lost on round-trip: %+v", back.Server)
+	}
+
+	rep.Server = nil
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	_ = json.Unmarshal(data, &m)
+	if _, present := m["server"]; present {
+		t.Error(`report without target metrics serializes "server"; omitempty broken`)
+	}
+}

@@ -58,6 +58,19 @@ type BenchConfig struct {
 	Replicas int `json:"replicas,omitempty"`
 }
 
+// ServerSide is the target's own view of the run: deltas of its /metrics
+// counters scraped immediately before and after the measured window. The
+// client-side numbers include queueing and the network; these do not — the
+// gap between the two p99s is where the time went. Server quantiles come
+// from histogram bucket deltas, so they carry bucket resolution, not sample
+// resolution.
+type ServerSide struct {
+	Requests uint64  `json:"requests"`
+	Errors   uint64  `json:"errors"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
 // BenchReport is the BENCH_<scenario>_<git-sha>.json document: one point on
 // the repo's performance trajectory.
 type BenchReport struct {
@@ -71,6 +84,11 @@ type BenchReport struct {
 	// Dropped counts open-loop tickets never dispatched (generator
 	// overload); a comparable run has 0.
 	Dropped uint64 `json:"dropped"`
+	// Server holds the target-side metric deltas when the run was driven
+	// with -target-metrics. Additive, omitempty on schema v1: files written
+	// before it existed still parse, and runs without the flag keep
+	// byte-identical reports.
+	Server *ServerSide `json:"server,omitempty"`
 }
 
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

@@ -440,6 +440,15 @@ type Aggregator struct {
 	// from the federated log_records_total counters) above which a fleet
 	// error-burst alert fires (0 disables).
 	ErrorBurstThreshold float64
+	// TSDB stores every federation round's samples as queryable history
+	// (nil: a default-configured TSDB is created on first use).
+	TSDB *TSDB
+	// RecordingRules are evaluated each round, in order, and their results
+	// appended to the TSDB under the rule name.
+	RecordingRules []RecordingRule
+	// AlertRules are user-defined alert rules evaluated each round after
+	// the built-in families (error rate, SLO burn, error burst).
+	AlertRules []AlertRule
 	// Now overrides the clock for alert re-arm decisions (tests).
 	Now func() time.Time
 
@@ -449,12 +458,9 @@ type Aggregator struct {
 	rounds     uint64
 	traces     map[string]*fleetTrace // trace ID -> stitched fleet trace
 	traceOrder []string
-	sloAlerts  map[string]time.Time // job/slo/severity -> last alert time
-	fleetLogs  []LogRecord          // merged log records, time-ordered
+	fleetLogs  []LogRecord // merged log records, time-ordered
 	logStates  map[string]*logTargetState
-	errLogPrev map[string]float64 // job -> last error-log counter total
-	errLogCheck time.Time
-	burstAlerts map[string]time.Time // errburst/job -> last alert time
+	ruleAlerts map[string]time.Time // rule/key-labels -> last alert time
 }
 
 func (a *Aggregator) now() time.Time {
@@ -519,14 +525,18 @@ func (a *Aggregator) ScrapeOnce(ctx context.Context) {
 		a.ensureMaps()
 		a.byJob[a.SelfJob+"\x00self"] = relabelled
 		a.mu.Unlock()
+		a.tsdb().Append(a.now(), relabelled)
 	}
 	a.mu.Lock()
 	a.rounds++
 	a.mu.Unlock()
 	a.reg().Histogram("obsagg_round_seconds", nil).Observe(time.Since(began).Seconds())
-	a.alertErrorRates()
-	a.alertSLOBurn()
-	a.alertErrorBurst()
+	a.evalRules()
+	db := a.tsdb()
+	db.Prune(a.now())
+	a.reg().Gauge("obsagg_tsdb_series").Set(float64(db.SeriesCount()))
+	a.reg().Gauge("obsagg_tsdb_points").Set(float64(db.PointCount()))
+	a.reg().Gauge("obsagg_tsdb_dropped_series").Set(float64(db.DroppedSeries()))
 }
 
 func (a *Aggregator) scrapeTarget(ctx context.Context, hc *http.Client, t Target) ([]Sample, error) {
@@ -571,6 +581,10 @@ func (a *Aggregator) ensureMaps() {
 func (a *Aggregator) record(t Target, samples []Sample, err error) {
 	key := t.Job + "\x00" + t.Instance()
 	outcome := "ok"
+	db := a.tsdb()
+	now := a.now()
+	ghosted := false
+	var downFor time.Duration
 	a.mu.Lock()
 	a.ensureMaps()
 	st := a.states[key]
@@ -578,7 +592,7 @@ func (a *Aggregator) record(t Target, samples []Sample, err error) {
 		st = &targetState{target: t}
 		a.states[key] = st
 	}
-	st.lastTry = time.Now()
+	st.lastTry = now
 	st.lastErr = err
 	if err == nil {
 		st.lastOK = st.lastTry
@@ -588,43 +602,28 @@ func (a *Aggregator) record(t Target, samples []Sample, err error) {
 	} else {
 		st.failures++
 		outcome = "error"
+		// A target that has been gone past the staleness window is a ghost:
+		// drop its last-good series from the federated view and mark its
+		// TSDB series stale, so instant answers stop freezing on its final
+		// values while its history stays range-queryable until retention.
+		if _, live := a.byJob[key]; live && !st.lastOK.IsZero() && now.Sub(st.lastOK) > db.staleAfter() {
+			delete(a.byJob, key)
+			st.series = 0
+			ghosted = true
+			downFor = now.Sub(st.lastOK)
+		}
 	}
 	a.mu.Unlock()
+	if err == nil {
+		db.Append(now, samples)
+	} else if ghosted {
+		db.MarkStale("job", t.Job, "instance", t.Instance())
+		a.logger().Warn("target vanished; marking series stale",
+			"job", t.Job, "instance", t.Instance(), "down_for", downFor.String())
+	}
 	a.reg().Counter("obsagg_scrapes_total", "job", t.Job, "outcome", outcome).Inc()
 	if err != nil {
 		a.logger().Warn("scrape failed", "job", t.Job, "instance", t.Instance(), "err", err)
-	}
-}
-
-// alertErrorRates inspects the federated server request counters and logs an
-// alert for any job whose 5xx fraction exceeds the threshold.
-func (a *Aggregator) alertErrorRates() {
-	if a.ErrorRateThreshold <= 0 {
-		return
-	}
-	type rate struct{ errors, total float64 }
-	rates := make(map[string]*rate)
-	for _, s := range a.Federated() {
-		if s.Name != "http_requests_total" {
-			continue
-		}
-		job := LabelValue(s, "job")
-		r := rates[job]
-		if r == nil {
-			r = &rate{}
-			rates[job] = r
-		}
-		r.total += s.Value
-		if LabelValue(s, "code") == "5xx" {
-			r.errors += s.Value
-		}
-	}
-	for job, r := range rates {
-		if r.total > 0 && r.errors/r.total > a.ErrorRateThreshold {
-			a.logger().Warn("error rate above threshold", "job", job,
-				"rate", r.errors/r.total, "threshold", a.ErrorRateThreshold,
-				"errors", r.errors, "requests", r.total)
-		}
 	}
 }
 
@@ -710,6 +709,9 @@ const StaleEvidenceHeader = "X-Stale-Evidence"
 //	                    ?job= and ?instance=)
 //	/fleet/slo          per-job SLO burn rates, budget remaining and firing
 //	                    alerts digested from the federated slo_* series
+//	/fleet/query        instant (?query=&time=) and range (?start=&end=&step=)
+//	                    expression queries over the TSDB of every round's
+//	                    samples — Prometheus-shaped JSON answers
 //
 // While any target is down, /metrics responses carry an X-Stale-Evidence
 // header naming the targets whose series are served from the last good round.
@@ -730,6 +732,7 @@ func (a *Aggregator) Handler() http.Handler {
 	mux.HandleFunc("GET /fleet/traces", a.handleFleetTraces)
 	mux.HandleFunc("GET /fleet/traces/{id}", a.handleFleetTrace)
 	mux.HandleFunc("GET /fleet/slo", a.handleFleetSLO)
+	mux.HandleFunc("GET /fleet/query", a.handleFleetQuery)
 	return mux
 }
 

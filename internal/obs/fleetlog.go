@@ -184,66 +184,14 @@ func (a *Aggregator) handleFleetLogs(w http.ResponseWriter, r *http.Request) {
 	writeLogJSON(w, a.FleetLogs(f))
 }
 
-// alertErrorBurst watches the federated log_records_total{level="error"}
-// counters: when a job's error-log rate between consecutive checks exceeds
-// ErrorBurstThreshold (records/second), a fleet alert fires under the same
-// re-arm policy as slow-trace and SLO burn alerts. Counter deltas (rather
-// than counting scraped records) keep the alert honest even when the ring
-// evicted records between scrapes.
-func (a *Aggregator) alertErrorBurst() {
-	if a.ErrorBurstThreshold <= 0 {
-		return
-	}
-	totals := make(map[string]float64)
-	for _, s := range a.Federated() {
-		if s.Name != "log_records_total" || LabelValue(s, "level") != "error" {
-			continue
-		}
-		totals[LabelValue(s, "job")] += s.Value
-	}
-	now := a.now()
-	type burst struct {
-		job  string
-		rate float64
-	}
-	var bursts []burst
-	a.mu.Lock()
-	if a.errLogPrev == nil {
-		a.errLogPrev = make(map[string]float64)
-	}
-	elapsed := now.Sub(a.errLogCheck).Seconds()
-	first := a.errLogCheck.IsZero()
-	a.errLogCheck = now
-	for job, cur := range totals {
-		prev, seen := a.errLogPrev[job]
-		a.errLogPrev[job] = cur
-		if first || !seen || elapsed <= 0 {
-			continue
-		}
-		delta := cur - prev
-		if delta < 0 {
-			continue // counter reset (daemon restart): re-baseline
-		}
-		if rate := delta / elapsed; rate > a.ErrorBurstThreshold {
-			key := "errburst/" + job
-			if a.burstAlerts == nil {
-				a.burstAlerts = make(map[string]time.Time)
-			}
-			last, fired := a.burstAlerts[key]
-			if !fired || (a.AlertRearm > 0 && now.Sub(last) >= a.AlertRearm) {
-				a.burstAlerts[key] = now
-				bursts = append(bursts, burst{job: job, rate: rate})
-			}
-		}
-	}
-	a.mu.Unlock()
-	for _, b := range bursts {
-		a.logger().Warn("fleet error-log burst", "job", b.job,
-			"rate_per_s", b.rate, "threshold_per_s", a.ErrorBurstThreshold,
-			"hint", "/fleet/logs?level=error&job="+b.job)
-		a.reg().Counter("obsagg_error_burst_alerts_total", "job", b.job).Inc()
-	}
-}
+// The fleet error-burst alert is the built-in "fleet-error-burst" rule on
+// the rules engine (rules.go): sum by (job) (irate(log_records_total{
+// level="error"}[retention])) > ErrorBurstThreshold. irate over the TSDB's
+// last two appended points reproduces the legacy delta-between-checks
+// detector, including restart re-baselining — a counter reset contributes
+// only the post-restart value — while the ring-eviction-proof counter
+// source and the obsagg_error_burst_alerts_total{job} firing counter are
+// unchanged.
 
 // FleetTraceLogs returns the merged log records correlated to one trace ID,
 // in time order — the drill-down /fleet/traces/{id} embeds.

@@ -219,7 +219,7 @@ func TestAlertErrorBurst(t *testing.T) {
 
 	// Round 1 baselines without firing.
 	setErrTotal("ctlogd", 10)
-	a.alertErrorBurst()
+	evalRound(a)
 	if fired() != 0 {
 		t.Fatal("first round fired")
 	}
@@ -227,7 +227,7 @@ func TestAlertErrorBurst(t *testing.T) {
 	// Round 2: 50 error records in 10s = 5/s > 1/s — fires.
 	clock = clock.Add(10 * time.Second)
 	setErrTotal("ctlogd", 60)
-	a.alertErrorBurst()
+	evalRound(a)
 	if fired() != 1 {
 		t.Fatalf("burst did not fire: %v", fired())
 	}
@@ -235,7 +235,7 @@ func TestAlertErrorBurst(t *testing.T) {
 	// Round 3: still bursting but inside the re-arm quiet period — silent.
 	clock = clock.Add(10 * time.Second)
 	setErrTotal("ctlogd", 110)
-	a.alertErrorBurst()
+	evalRound(a)
 	if fired() != 1 {
 		t.Fatalf("alert re-fired inside quiet period: %v", fired())
 	}
@@ -243,7 +243,7 @@ func TestAlertErrorBurst(t *testing.T) {
 	// Round 4: past the quiet period and still bursting — re-fires.
 	clock = clock.Add(2 * time.Minute)
 	setErrTotal("ctlogd", 1200)
-	a.alertErrorBurst()
+	evalRound(a)
 	if fired() != 2 {
 		t.Fatalf("alert did not re-arm: %v", fired())
 	}
@@ -251,7 +251,7 @@ func TestAlertErrorBurst(t *testing.T) {
 	// Counter reset (restart) re-baselines instead of firing on a negative delta.
 	clock = clock.Add(10 * time.Minute)
 	setErrTotal("ctlogd", 3)
-	a.alertErrorBurst()
+	evalRound(a)
 	if fired() != 2 {
 		t.Fatalf("restart fired an alert: %v", fired())
 	}
@@ -259,7 +259,7 @@ func TestAlertErrorBurst(t *testing.T) {
 	// A quiet job below threshold never fires.
 	clock = clock.Add(10 * time.Second)
 	setErrTotal("ctlogd", 5) // 2 records in 10s = 0.2/s
-	a.alertErrorBurst()
+	evalRound(a)
 	if fired() != 2 {
 		t.Fatalf("sub-threshold rate fired: %v", fired())
 	}

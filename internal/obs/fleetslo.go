@@ -5,7 +5,6 @@ import (
 	"net/http"
 	"sort"
 	"strings"
-	"time"
 )
 
 // This file implements the fleet SLO view: every daemon's SLOEngine exports
@@ -76,34 +75,10 @@ func (a *Aggregator) FleetSLOs() []FleetSLO {
 	return out
 }
 
-// alertSLOBurn raises a fleet-level alert for every federated (job, slo,
-// severity) whose slo_alert_firing gauge is up, re-arming after AlertRearm
-// (0: once per firing key until obsagg restarts). Called after each scrape
-// round.
-func (a *Aggregator) alertSLOBurn() {
-	for _, row := range a.FleetSLOs() {
-		for _, severity := range row.Firing {
-			k := row.Job + "/" + row.SLO + "/" + severity
-			a.mu.Lock()
-			if a.sloAlerts == nil {
-				a.sloAlerts = make(map[string]time.Time)
-			}
-			last, seen := a.sloAlerts[k]
-			fire := !seen || (a.AlertRearm > 0 && a.now().Sub(last) >= a.AlertRearm)
-			if fire {
-				a.sloAlerts[k] = a.now()
-			}
-			a.mu.Unlock()
-			if fire {
-				a.logger().Warn("fleet slo burn-rate alert", "job", row.Job,
-					"instance", row.Instance, "slo", row.SLO, "severity", severity,
-					"burn_rates", burnSummary(row.BurnRates),
-					"budget_remaining", row.BudgetRemaining)
-				a.reg().Counter("obsagg_slo_alerts_total", "job", row.Job, "severity", severity).Inc()
-			}
-		}
-	}
-}
+// The fleet-level SLO burn alert is the built-in "fleet-slo-burn" rule on
+// the rules engine (rules.go): max by (instance, job, severity, slo)
+// (slo_alert_firing) >= 1, keyed job/slo/severity for re-arm, counted in
+// obsagg_slo_alerts_total{job,severity}, annotated from FleetSLOs.
 
 func burnSummary(burns map[string]float64) string {
 	keys := make([]string, 0, len(burns))

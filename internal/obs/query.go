@@ -1,0 +1,1177 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file implements the fleet query language served at /fleet/query: a
+// small, Prometheus-shaped expression evaluator over the obsagg TSDB.
+// Supported surface — enough for real fleet questions, nothing more:
+//
+//	metric{label="v", other!="x", re=~"a|b"}          instant selector
+//	metric{...}[90s]                                  range selector
+//	rate(m[1m])  increase(m[1m])  irate(m[1m])        counter functions
+//	avg/max/min/sum/count_over_time(m[1m])            window aggregations
+//	histogram_quantile(0.99, m_bucket{...})           log-linear buckets,
+//	                                                  exemplar-aware
+//	sum/avg/min/max/count by (label, ...) (expr)      label aggregation
+//	expr + - * / expr,   expr > < >= <= == != expr    arithmetic & filters
+//
+// Counter functions are restart-aware: a value drop inside the window is
+// treated as a counter reset, contributing only the post-reset value.
+
+// ---- AST ----
+
+type exprNode interface{ exprString() string }
+
+type numLit struct{ v float64 }
+
+type selectorNode struct {
+	name     string
+	matchers []Matcher
+	rng      time.Duration // 0 = instant selector
+}
+
+type callNode struct {
+	fn   string
+	args []exprNode
+}
+
+type aggNode struct {
+	op  string
+	by  []string
+	arg exprNode
+}
+
+type binNode struct {
+	op       string
+	lhs, rhs exprNode
+}
+
+func (n numLit) exprString() string { return formatFloat(n.v) }
+func (n selectorNode) exprString() string {
+	s := n.name
+	if len(n.matchers) > 0 {
+		s += "{...}"
+	}
+	if n.rng > 0 {
+		s += "[" + n.rng.String() + "]"
+	}
+	return s
+}
+func (n callNode) exprString() string { return n.fn + "(...)" }
+func (n aggNode) exprString() string  { return n.op + "(...)" }
+func (n binNode) exprString() string {
+	return n.lhs.exprString() + " " + n.op + " " + n.rhs.exprString()
+}
+
+// ---- lexer ----
+
+type token struct {
+	kind byte // 'i' ident, 'n' number, 's' string, 'o' operator/punct, 0 EOF
+	text string
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') || c == '.' }
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case isIdentStart(c):
+			j := i + 1
+			for j < len(src) && isIdentPart(src[j]) {
+				j++
+			}
+			toks = append(toks, token{'i', src[i:j]})
+			i = j
+		case c >= '0' && c <= '9' || c == '.':
+			j := i
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.' ||
+				src[j] == 'e' || src[j] == 'E' ||
+				((src[j] == '+' || src[j] == '-') && j > i && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+				j++
+			}
+			toks = append(toks, token{'n', src[i:j]})
+			i = j
+		case c == '"' || c == '\'':
+			quote := c
+			j := i + 1
+			var b strings.Builder
+			for j < len(src) && src[j] != quote {
+				if src[j] == '\\' && j+1 < len(src) {
+					switch src[j+1] {
+					case 'n':
+						b.WriteByte('\n')
+					default:
+						b.WriteByte(src[j+1])
+					}
+					j += 2
+					continue
+				}
+				b.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{'s', b.String()})
+			i = j + 1
+		default:
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "=~", "!~", "!=", "==", ">=", "<=":
+				toks = append(toks, token{'o', two})
+				i += 2
+				continue
+			}
+			switch c {
+			case '{', '}', '(', ')', '[', ']', ',', '=', '>', '<', '+', '-', '*', '/':
+				toks = append(toks, token{'o', string(c)})
+				i++
+			default:
+				return nil, fmt.Errorf("unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	return toks, nil
+}
+
+// ---- parser ----
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return token{}
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(kind byte, text string) error {
+	t := p.next()
+	if t.kind != kind || (text != "" && t.text != text) {
+		return fmt.Errorf("expected %q, got %q", text, t.text)
+	}
+	return nil
+}
+
+var aggOps = map[string]bool{"sum": true, "avg": true, "min": true, "max": true, "count": true}
+
+var queryFuncs = map[string]bool{
+	"rate": true, "increase": true, "irate": true,
+	"avg_over_time": true, "max_over_time": true, "min_over_time": true,
+	"sum_over_time": true, "count_over_time": true,
+	"histogram_quantile": true,
+}
+
+// ParseQuery parses one fleet query expression.
+func ParseQuery(src string) (exprNode, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	n, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != 0 {
+		return nil, fmt.Errorf("trailing input at %q", t.text)
+	}
+	return n, nil
+}
+
+func (p *parser) parseExpr() (exprNode, error) { return p.parseCompare() }
+
+func (p *parser) parseCompare() (exprNode, error) {
+	lhs, err := p.parseAddSub()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != 'o' {
+			return lhs, nil
+		}
+		switch t.text {
+		case ">", "<", ">=", "<=", "==", "!=":
+			p.next()
+			rhs, err := p.parseAddSub()
+			if err != nil {
+				return nil, err
+			}
+			lhs = binNode{op: t.text, lhs: lhs, rhs: rhs}
+		default:
+			return lhs, nil
+		}
+	}
+}
+
+func (p *parser) parseAddSub() (exprNode, error) {
+	lhs, err := p.parseMulDiv()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != 'o' || (t.text != "+" && t.text != "-") {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.parseMulDiv()
+		if err != nil {
+			return nil, err
+		}
+		lhs = binNode{op: t.text, lhs: lhs, rhs: rhs}
+	}
+}
+
+func (p *parser) parseMulDiv() (exprNode, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != 'o' || (t.text != "*" && t.text != "/") {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		lhs = binNode{op: t.text, lhs: lhs, rhs: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (exprNode, error) {
+	if t := p.peek(); t.kind == 'o' && t.text == "-" {
+		p.next()
+		n, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return binNode{op: "*", lhs: numLit{-1}, rhs: n}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (exprNode, error) {
+	t := p.peek()
+	switch t.kind {
+	case 'n':
+		p.next()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", t.text)
+		}
+		return numLit{v}, nil
+	case 'o':
+		if t.text == "(" {
+			p.next()
+			n, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect('o', ")"); err != nil {
+				return nil, err
+			}
+			return n, nil
+		}
+		return nil, fmt.Errorf("unexpected %q", t.text)
+	case 'i':
+		p.next()
+		name := t.text
+		if aggOps[name] {
+			if nt := p.peek(); nt.kind == 'i' && nt.text == "by" || nt.kind == 'o' && nt.text == "(" {
+				return p.parseAgg(name)
+			}
+		}
+		if queryFuncs[name] {
+			if nt := p.peek(); nt.kind == 'o' && nt.text == "(" {
+				return p.parseCall(name)
+			}
+		}
+		return p.parseSelector(name)
+	}
+	return nil, fmt.Errorf("unexpected end of query")
+}
+
+// parseAgg accepts both `sum by (a, b) (expr)` and `sum(expr) by (a, b)`.
+func (p *parser) parseAgg(op string) (exprNode, error) {
+	var by []string
+	var err error
+	if t := p.peek(); t.kind == 'i' && t.text == "by" {
+		p.next()
+		if by, err = p.parseLabelList(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect('o', "("); err != nil {
+		return nil, err
+	}
+	arg, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect('o', ")"); err != nil {
+		return nil, err
+	}
+	if t := p.peek(); by == nil && t.kind == 'i' && t.text == "by" {
+		p.next()
+		if by, err = p.parseLabelList(); err != nil {
+			return nil, err
+		}
+	}
+	return aggNode{op: op, by: by, arg: arg}, nil
+}
+
+func (p *parser) parseLabelList() ([]string, error) {
+	if err := p.expect('o', "("); err != nil {
+		return nil, err
+	}
+	labels := []string{}
+	for {
+		t := p.next()
+		if t.kind == 'o' && t.text == ")" {
+			return labels, nil
+		}
+		if t.kind != 'i' {
+			return nil, fmt.Errorf("expected label name, got %q", t.text)
+		}
+		labels = append(labels, t.text)
+		if nt := p.peek(); nt.kind == 'o' && nt.text == "," {
+			p.next()
+		}
+	}
+}
+
+func (p *parser) parseCall(fn string) (exprNode, error) {
+	if err := p.expect('o', "("); err != nil {
+		return nil, err
+	}
+	var args []exprNode
+	for {
+		if t := p.peek(); t.kind == 'o' && t.text == ")" {
+			p.next()
+			break
+		}
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if t := p.peek(); t.kind == 'o' && t.text == "," {
+			p.next()
+		}
+	}
+	return callNode{fn: fn, args: args}, nil
+}
+
+func (p *parser) parseSelector(name string) (exprNode, error) {
+	sel := selectorNode{name: name}
+	if t := p.peek(); t.kind == 'o' && t.text == "{" {
+		p.next()
+		for {
+			t := p.next()
+			if t.kind == 'o' && t.text == "}" {
+				break
+			}
+			if t.kind != 'i' {
+				return nil, fmt.Errorf("expected label name in matcher, got %q", t.text)
+			}
+			opTok := p.next()
+			var op MatchOp
+			switch opTok.text {
+			case "=":
+				op = MatchEq
+			case "!=":
+				op = MatchNe
+			case "=~":
+				op = MatchRe
+			case "!~":
+				op = MatchNre
+			default:
+				return nil, fmt.Errorf("bad matcher operator %q", opTok.text)
+			}
+			val := p.next()
+			if val.kind != 's' {
+				return nil, fmt.Errorf("matcher value for %s must be a quoted string", t.text)
+			}
+			m, err := NewMatcher(t.text, op, val.text)
+			if err != nil {
+				return nil, err
+			}
+			sel.matchers = append(sel.matchers, m)
+			if nt := p.peek(); nt.kind == 'o' && nt.text == "," {
+				p.next()
+			}
+		}
+	}
+	if t := p.peek(); t.kind == 'o' && t.text == "[" {
+		p.next()
+		dt := p.next()
+		// Durations lex as number+ident ("90" "s") or as a single ident ("1m30s"
+		// starts with a digit, so: number "1" + ident "m30s").
+		spec := dt.text
+		for {
+			nt := p.peek()
+			if nt.kind == 'i' || nt.kind == 'n' {
+				p.next()
+				spec += nt.text
+				continue
+			}
+			break
+		}
+		d, err := time.ParseDuration(spec)
+		if err != nil {
+			// Bare numbers are seconds.
+			if secs, serr := strconv.ParseFloat(spec, 64); serr == nil {
+				d = time.Duration(secs * float64(time.Second))
+			} else {
+				return nil, fmt.Errorf("bad range duration %q", spec)
+			}
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("range duration must be positive")
+		}
+		if err := p.expect('o', "]"); err != nil {
+			return nil, err
+		}
+		sel.rng = d
+	}
+	return sel, nil
+}
+
+// ---- values ----
+
+type vecSample struct {
+	name     string // metric family, kept only for bare selectors
+	labels   string
+	pairs    []string
+	v        float64
+	exemplar *Exemplar
+}
+
+type matrixSeries struct {
+	labels   string
+	pairs    []string
+	pts      []Point
+	exemplar *Exemplar
+}
+
+// queryValue is float64 (scalar), []vecSample or []matrixSeries.
+type queryValue interface{}
+
+// ---- evaluator ----
+
+type evalCtx struct {
+	db *TSDB
+	at time.Time
+}
+
+func evalInstant(db *TSDB, node exprNode, at time.Time) (queryValue, error) {
+	return (&evalCtx{db: db, at: at}).eval(node)
+}
+
+func (c *evalCtx) eval(node exprNode) (queryValue, error) {
+	switch n := node.(type) {
+	case numLit:
+		return n.v, nil
+	case selectorNode:
+		if n.rng > 0 {
+			sel := c.db.Select(n.name, n.matchers, c.at.Add(-n.rng), c.at)
+			out := make([]matrixSeries, 0, len(sel))
+			for _, sd := range sel {
+				out = append(out, matrixSeries{labels: sd.Labels, pairs: sd.Pairs, pts: sd.Points, exemplar: sd.Exemplar})
+			}
+			return out, nil
+		}
+		sel := c.db.Latest(n.name, n.matchers, c.at)
+		out := make([]vecSample, 0, len(sel))
+		for _, sd := range sel {
+			out = append(out, vecSample{name: sd.Name, labels: sd.Labels, pairs: sd.Pairs,
+				v: sd.Points[0].V, exemplar: sd.Exemplar})
+		}
+		return out, nil
+	case callNode:
+		return c.evalCall(n)
+	case aggNode:
+		return c.evalAgg(n)
+	case binNode:
+		return c.evalBin(n)
+	}
+	return nil, fmt.Errorf("unknown expression node")
+}
+
+func (c *evalCtx) evalMatrixArg(n callNode) ([]matrixSeries, error) {
+	if len(n.args) != 1 {
+		return nil, fmt.Errorf("%s expects exactly one range-vector argument", n.fn)
+	}
+	v, err := c.eval(n.args[0])
+	if err != nil {
+		return nil, err
+	}
+	m, ok := v.([]matrixSeries)
+	if !ok {
+		return nil, fmt.Errorf("%s expects a range vector (did you forget [duration]?)", n.fn)
+	}
+	return m, nil
+}
+
+func (c *evalCtx) evalCall(n callNode) (queryValue, error) {
+	switch n.fn {
+	case "rate", "increase", "irate":
+		mat, err := c.evalMatrixArg(n)
+		if err != nil {
+			return nil, err
+		}
+		var out []vecSample
+		for _, sr := range mat {
+			if len(sr.pts) < 2 {
+				continue
+			}
+			v, ok := counterFunc(n.fn, sr.pts)
+			if !ok {
+				continue
+			}
+			out = append(out, vecSample{labels: sr.labels, pairs: sr.pairs, v: v, exemplar: sr.exemplar})
+		}
+		return out, nil
+	case "avg_over_time", "max_over_time", "min_over_time", "sum_over_time", "count_over_time":
+		mat, err := c.evalMatrixArg(n)
+		if err != nil {
+			return nil, err
+		}
+		var out []vecSample
+		for _, sr := range mat {
+			if len(sr.pts) == 0 {
+				continue
+			}
+			out = append(out, vecSample{labels: sr.labels, pairs: sr.pairs,
+				v: overTime(n.fn, sr.pts), exemplar: sr.exemplar})
+		}
+		return out, nil
+	case "histogram_quantile":
+		if len(n.args) != 2 {
+			return nil, fmt.Errorf("histogram_quantile expects (q, bucket-vector)")
+		}
+		qv, err := c.eval(n.args[0])
+		if err != nil {
+			return nil, err
+		}
+		q, ok := qv.(float64)
+		if !ok {
+			return nil, fmt.Errorf("histogram_quantile quantile must be a scalar")
+		}
+		bv, err := c.eval(n.args[1])
+		if err != nil {
+			return nil, err
+		}
+		vec, ok := bv.([]vecSample)
+		if !ok {
+			return nil, fmt.Errorf("histogram_quantile expects an instant bucket vector")
+		}
+		return histogramQuantileVec(q, vec), nil
+	}
+	return nil, fmt.Errorf("unknown function %q", n.fn)
+}
+
+// counterFunc computes the restart-aware counter functions over one series'
+// window. rate and increase adjust for resets across the whole window (a
+// drop adds the pre-reset value back); irate uses only the last two points,
+// treating a drop as a reset to zero — the instantaneous variant the burst
+// alert rule relies on.
+func counterFunc(fn string, pts []Point) (float64, bool) {
+	switch fn {
+	case "irate":
+		a, b := pts[len(pts)-2], pts[len(pts)-1]
+		dt := b.T.Sub(a.T).Seconds()
+		if dt <= 0 {
+			return 0, false
+		}
+		dv := b.V - a.V
+		if dv < 0 {
+			dv = b.V
+		}
+		return dv / dt, true
+	case "rate", "increase":
+		first, last := pts[0], pts[len(pts)-1]
+		dt := last.T.Sub(first.T).Seconds()
+		if dt <= 0 {
+			return 0, false
+		}
+		adj := 0.0
+		prev := first.V
+		for _, p := range pts[1:] {
+			if p.V < prev {
+				adj += prev
+			}
+			prev = p.V
+		}
+		inc := last.V - first.V + adj
+		if fn == "increase" {
+			return inc, true
+		}
+		return inc / dt, true
+	}
+	return 0, false
+}
+
+func overTime(fn string, pts []Point) float64 {
+	switch fn {
+	case "count_over_time":
+		return float64(len(pts))
+	case "sum_over_time", "avg_over_time":
+		sum := 0.0
+		for _, p := range pts {
+			sum += p.V
+		}
+		if fn == "sum_over_time" {
+			return sum
+		}
+		return sum / float64(len(pts))
+	case "max_over_time":
+		m := pts[0].V
+		for _, p := range pts[1:] {
+			m = math.Max(m, p.V)
+		}
+		return m
+	case "min_over_time":
+		m := pts[0].V
+		for _, p := range pts[1:] {
+			m = math.Min(m, p.V)
+		}
+		return m
+	}
+	return math.NaN()
+}
+
+// bucketPt is one cumulative histogram bucket with a float count — counts
+// stay floats so quantiles over rate() output keep their precision.
+type bucketPt struct {
+	bound float64
+	count float64
+	ex    *Exemplar
+}
+
+// histogramQuantileVec groups a _bucket vector by its labels minus le and
+// computes the quantile per group from the cumulative bucket counts. The
+// result carries the exemplar of the bucket the quantile lands in, so a p99
+// answer links straight to a sampled slow trace.
+func histogramQuantileVec(q float64, vec []vecSample) []vecSample {
+	type group struct {
+		pairs   []string
+		buckets []bucketPt
+	}
+	groups := make(map[string]*group)
+	order := []string{}
+	for _, s := range vec {
+		le, ok := pairValue(s.pairs, "le")
+		if !ok {
+			continue
+		}
+		bound, err := parsePromFloat(le)
+		if err != nil {
+			continue
+		}
+		rest := dropPairs(s.pairs, "le")
+		key := formatLabels(rest)
+		g := groups[key]
+		if g == nil {
+			g = &group{pairs: rest}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.buckets = append(g.buckets, bucketPt{bound: bound, count: s.v, ex: s.exemplar})
+	}
+	sort.Strings(order)
+	var out []vecSample
+	for _, key := range order {
+		g := groups[key]
+		v, ex := histogramQuantile(q, g.buckets)
+		out = append(out, vecSample{labels: key, pairs: g.pairs, v: v, exemplar: ex})
+	}
+	return out
+}
+
+// HistogramQuantile estimates the q-quantile from cumulative histogram
+// buckets (the shape Snapshot and ParseProm produce), interpolating linearly
+// inside the bucket the quantile lands in — the same estimate Prometheus'
+// histogram_quantile makes over the exposition format.
+func HistogramQuantile(q float64, buckets []BucketCount) float64 {
+	bs := make([]bucketPt, 0, len(buckets))
+	for _, b := range buckets {
+		bs = append(bs, bucketPt{bound: b.UpperBound, count: float64(b.Count), ex: b.Exemplar})
+	}
+	v, _ := histogramQuantile(q, bs)
+	return v
+}
+
+func histogramQuantile(q float64, buckets []bucketPt) (float64, *Exemplar) {
+	if len(buckets) == 0 || q < 0 || q > 1 {
+		return math.NaN(), nil
+	}
+	bs := make([]bucketPt, len(buckets))
+	copy(bs, buckets)
+	sort.Slice(bs, func(i, j int) bool { return bs[i].bound < bs[j].bound })
+	total := bs[len(bs)-1].count
+	if total <= 0 {
+		return math.NaN(), nil
+	}
+	rank := q * total
+	idx := 0
+	for idx < len(bs)-1 && bs[idx].count < rank {
+		idx++
+	}
+	b := bs[idx]
+	if math.IsInf(b.bound, 1) {
+		// The quantile lands in the overflow bucket: the best bounded answer
+		// is the highest finite bound.
+		if idx == 0 {
+			return math.NaN(), b.ex
+		}
+		return bs[idx-1].bound, b.ex
+	}
+	lower, prevCount := 0.0, 0.0
+	if idx > 0 {
+		lower = bs[idx-1].bound
+		prevCount = bs[idx-1].count
+	}
+	inBucket := b.count - prevCount
+	if inBucket <= 0 {
+		return b.bound, b.ex
+	}
+	return lower + (b.bound-lower)*(rank-prevCount)/inBucket, b.ex
+}
+
+func dropPairs(pairs []string, keys ...string) []string {
+	out := make([]string, 0, len(pairs))
+	for i := 0; i+1 < len(pairs); i += 2 {
+		drop := false
+		for _, k := range keys {
+			if pairs[i] == k {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			out = append(out, pairs[i], pairs[i+1])
+		}
+	}
+	return out
+}
+
+func keepPairs(pairs []string, keys []string) []string {
+	var out []string
+	for _, k := range keys {
+		if v, ok := pairValue(pairs, k); ok {
+			out = append(out, k, v)
+		}
+	}
+	return out
+}
+
+func (c *evalCtx) evalAgg(n aggNode) (queryValue, error) {
+	v, err := c.eval(n.arg)
+	if err != nil {
+		return nil, err
+	}
+	vec, ok := v.([]vecSample)
+	if !ok {
+		return nil, fmt.Errorf("%s expects an instant vector", n.op)
+	}
+	type group struct {
+		pairs []string
+		sum   float64
+		min   float64
+		max   float64
+		count int
+		ex    *Exemplar
+	}
+	groups := make(map[string]*group)
+	order := []string{}
+	for _, s := range vec {
+		kept := keepPairs(s.pairs, n.by)
+		key := formatLabels(kept)
+		g := groups[key]
+		if g == nil {
+			g = &group{pairs: kept, min: s.v, max: s.v}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.sum += s.v
+		g.min = math.Min(g.min, s.v)
+		g.max = math.Max(g.max, s.v)
+		g.count++
+		if g.ex == nil {
+			g.ex = s.exemplar
+		}
+	}
+	sort.Strings(order)
+	out := make([]vecSample, 0, len(groups))
+	for _, key := range order {
+		g := groups[key]
+		var val float64
+		switch n.op {
+		case "sum":
+			val = g.sum
+		case "avg":
+			val = g.sum / float64(g.count)
+		case "min":
+			val = g.min
+		case "max":
+			val = g.max
+		case "count":
+			val = float64(g.count)
+		}
+		out = append(out, vecSample{labels: key, pairs: g.pairs, v: val, exemplar: g.ex})
+	}
+	return out, nil
+}
+
+func isComparison(op string) bool {
+	switch op {
+	case ">", "<", ">=", "<=", "==", "!=":
+		return true
+	}
+	return false
+}
+
+func applyOp(op string, a, b float64) float64 {
+	switch op {
+	case "+":
+		return a + b
+	case "-":
+		return a - b
+	case "*":
+		return a * b
+	case "/":
+		return a / b
+	}
+	return math.NaN()
+}
+
+func compare(op string, a, b float64) bool {
+	switch op {
+	case ">":
+		return a > b
+	case "<":
+		return a < b
+	case ">=":
+		return a >= b
+	case "<=":
+		return a <= b
+	case "==":
+		return a == b
+	case "!=":
+		return a != b
+	}
+	return false
+}
+
+func (c *evalCtx) evalBin(n binNode) (queryValue, error) {
+	lv, err := c.eval(n.lhs)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := c.eval(n.rhs)
+	if err != nil {
+		return nil, err
+	}
+	ls, lIsScalar := lv.(float64)
+	rs, rIsScalar := rv.(float64)
+	lvec, lIsVec := lv.([]vecSample)
+	rvec, rIsVec := rv.([]vecSample)
+	switch {
+	case lIsScalar && rIsScalar:
+		if isComparison(n.op) {
+			if compare(n.op, ls, rs) {
+				return 1.0, nil
+			}
+			return 0.0, nil
+		}
+		return applyOp(n.op, ls, rs), nil
+	case lIsVec && rIsScalar:
+		var out []vecSample
+		for _, s := range lvec {
+			if isComparison(n.op) {
+				if compare(n.op, s.v, rs) {
+					out = append(out, s)
+				}
+				continue
+			}
+			s.name = ""
+			s.v = applyOp(n.op, s.v, rs)
+			out = append(out, s)
+		}
+		return out, nil
+	case lIsScalar && rIsVec:
+		var out []vecSample
+		for _, s := range rvec {
+			if isComparison(n.op) {
+				if compare(n.op, ls, s.v) {
+					out = append(out, s)
+				}
+				continue
+			}
+			s.name = ""
+			s.v = applyOp(n.op, ls, s.v)
+			out = append(out, s)
+		}
+		return out, nil
+	case lIsVec && rIsVec:
+		// One-to-one matching on identical label sets — both sides of a
+		// ratio like sum by (job)(errors) / sum by (job)(total) line up.
+		rhs := make(map[string]float64, len(rvec))
+		for _, s := range rvec {
+			rhs[s.labels] = s.v
+		}
+		var out []vecSample
+		for _, s := range lvec {
+			other, ok := rhs[s.labels]
+			if !ok {
+				continue
+			}
+			if isComparison(n.op) {
+				if compare(n.op, s.v, other) {
+					out = append(out, s)
+				}
+				continue
+			}
+			s.name = ""
+			s.v = applyOp(n.op, s.v, other)
+			out = append(out, s)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("unsupported operand types for %q (range vectors need a function like rate())", n.op)
+}
+
+// ---- HTTP surface ----
+
+const maxRangeSteps = 11000
+
+type queryJSONData struct {
+	ResultType string `json:"resultType"`
+	Result     any    `json:"result"`
+}
+
+type queryJSON struct {
+	Status string         `json:"status"`
+	Data   *queryJSONData `json:"data,omitempty"`
+	Error  string         `json:"error,omitempty"`
+}
+
+type vectorJSON struct {
+	Metric  map[string]string `json:"metric"`
+	Value   [2]any            `json:"value"`
+	TraceID string            `json:"trace_id,omitempty"`
+}
+
+type matrixJSON struct {
+	Metric map[string]string `json:"metric"`
+	Values [][2]any          `json:"values"`
+}
+
+func metricMap(name string, pairs []string) map[string]string {
+	m := make(map[string]string, len(pairs)/2+1)
+	if name != "" {
+		m["__name__"] = name
+	}
+	for i := 0; i+1 < len(pairs); i += 2 {
+		m[pairs[i]] = pairs[i+1]
+	}
+	return m
+}
+
+func jsonValue(t time.Time, v float64) [2]any {
+	return [2]any{float64(t.UnixMilli()) / 1000, strconv.FormatFloat(v, 'g', -1, 64)}
+}
+
+func writeQueryError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(queryJSON{Status: "error", Error: err.Error()})
+}
+
+func parseQueryTime(s string, fallback time.Time) (time.Time, error) {
+	if s == "" {
+		return fallback, nil
+	}
+	if secs, err := strconv.ParseFloat(s, 64); err == nil {
+		return time.Unix(0, int64(secs*1e9)), nil
+	}
+	if t, err := time.Parse(time.RFC3339Nano, s); err == nil {
+		return t, nil
+	}
+	return time.Time{}, fmt.Errorf("bad timestamp %q (unix seconds or RFC3339)", s)
+}
+
+func parseQueryStep(s string) (time.Duration, error) {
+	if s == "" {
+		return 15 * time.Second, nil
+	}
+	if d, err := time.ParseDuration(s); err == nil && d > 0 {
+		return d, nil
+	}
+	if secs, err := strconv.ParseFloat(s, 64); err == nil && secs > 0 {
+		return time.Duration(secs * float64(time.Second)), nil
+	}
+	return 0, fmt.Errorf("bad step %q", s)
+}
+
+// handleFleetQuery serves GET /fleet/query: ?query=<expr> with either
+// ?time= (instant; default now) or ?start=&end=&step= (range). Responses
+// use the Prometheus HTTP API shape, with trace_id carried on vector
+// entries whose value descends from an exemplar-bearing bucket.
+func (a *Aggregator) handleFleetQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.FormValue("query")
+	if q == "" {
+		writeQueryError(w, http.StatusBadRequest, fmt.Errorf("missing query parameter"))
+		return
+	}
+	node, err := ParseQuery(q)
+	if err != nil {
+		writeQueryError(w, http.StatusBadRequest, fmt.Errorf("parse error: %w", err))
+		return
+	}
+	db := a.tsdb()
+	now := a.now()
+	if r.FormValue("start") != "" || r.FormValue("end") != "" {
+		start, err := parseQueryTime(r.FormValue("start"), now.Add(-time.Hour))
+		if err != nil {
+			writeQueryError(w, http.StatusBadRequest, err)
+			return
+		}
+		end, err := parseQueryTime(r.FormValue("end"), now)
+		if err != nil {
+			writeQueryError(w, http.StatusBadRequest, err)
+			return
+		}
+		step, err := parseQueryStep(r.FormValue("step"))
+		if err != nil {
+			writeQueryError(w, http.StatusBadRequest, err)
+			return
+		}
+		if end.Before(start) {
+			writeQueryError(w, http.StatusBadRequest, fmt.Errorf("end precedes start"))
+			return
+		}
+		if int(end.Sub(start)/step) > maxRangeSteps {
+			writeQueryError(w, http.StatusBadRequest, fmt.Errorf("range of %s at step %s exceeds %d steps", end.Sub(start), step, maxRangeSteps))
+			return
+		}
+		series := make(map[string]*matrixJSON)
+		order := []string{}
+		for at := start; !at.After(end); at = at.Add(step) {
+			v, err := evalInstant(db, node, at)
+			if err != nil {
+				writeQueryError(w, http.StatusUnprocessableEntity, err)
+				return
+			}
+			var vec []vecSample
+			switch tv := v.(type) {
+			case float64:
+				vec = []vecSample{{v: tv}}
+			case []vecSample:
+				vec = tv
+			default:
+				writeQueryError(w, http.StatusUnprocessableEntity, fmt.Errorf("range query requires an instant-vector or scalar expression"))
+				return
+			}
+			for _, s := range vec {
+				key := s.name + s.labels
+				sr := series[key]
+				if sr == nil {
+					sr = &matrixJSON{Metric: metricMap(s.name, s.pairs)}
+					series[key] = sr
+					order = append(order, key)
+				}
+				sr.Values = append(sr.Values, jsonValue(at, s.v))
+			}
+		}
+		sort.Strings(order)
+		result := make([]matrixJSON, 0, len(order))
+		for _, key := range order {
+			result = append(result, *series[key])
+		}
+		writeQueryJSON(w, "matrix", result)
+		return
+	}
+	at, err := parseQueryTime(r.FormValue("time"), now)
+	if err != nil {
+		writeQueryError(w, http.StatusBadRequest, err)
+		return
+	}
+	v, err := evalInstant(db, node, at)
+	if err != nil {
+		writeQueryError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	switch tv := v.(type) {
+	case float64:
+		writeQueryJSON(w, "scalar", jsonValue(at, tv))
+	case []vecSample:
+		result := make([]vectorJSON, 0, len(tv))
+		for _, s := range tv {
+			e := vectorJSON{Metric: metricMap(s.name, s.pairs), Value: jsonValue(at, s.v)}
+			if s.exemplar != nil {
+				e.TraceID = s.exemplar.TraceID
+			}
+			result = append(result, e)
+		}
+		writeQueryJSON(w, "vector", result)
+	case []matrixSeries:
+		result := make([]matrixJSON, 0, len(tv))
+		for _, sr := range tv {
+			m := matrixJSON{Metric: metricMap("", sr.pairs)}
+			for _, p := range sr.pts {
+				m.Values = append(m.Values, jsonValue(p.T, p.V))
+			}
+			result = append(result, m)
+		}
+		writeQueryJSON(w, "matrix", result)
+	}
+}
+
+func writeQueryJSON(w http.ResponseWriter, resultType string, result any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = json.NewEncoder(w).Encode(queryJSON{Status: "success",
+		Data: &queryJSONData{ResultType: resultType, Result: result}})
+}

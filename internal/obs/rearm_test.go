@@ -102,8 +102,17 @@ func TestSlowTraceAlertOneShotWithoutRearm(t *testing.T) {
 	}
 }
 
+// evalRound mimics the tail of a scrape round for rule tests: the injected
+// federated samples are appended to the TSDB at the (fake) clock, then the
+// rules engine evaluates the built-in alert families against it.
+func evalRound(a *Aggregator) {
+	a.tsdb().Append(a.now(), a.Federated())
+	a.evalRules()
+}
+
 // TestFleetSLOAlertRearms exercises the same re-arm policy on federated SLO
-// burn alerts, driving alertSLOBurn directly over injected federated samples.
+// burn alerts, driving the built-in fleet-slo-burn rule over injected
+// federated samples.
 func TestFleetSLOAlertRearms(t *testing.T) {
 	var logs bytes.Buffer
 	clock := &fakeClock{t: time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)}
@@ -135,17 +144,17 @@ func TestFleetSLOAlertRearms(t *testing.T) {
 	}
 
 	count := func() int { return strings.Count(logs.String(), "fleet slo burn-rate alert") }
-	a.alertSLOBurn()
+	evalRound(a)
 	if got := count(); got != 1 {
 		t.Fatalf("fleet alerts after first round = %d, want 1", got)
 	}
 	clock.advance(10 * time.Second)
-	a.alertSLOBurn()
+	evalRound(a)
 	if got := count(); got != 1 {
 		t.Fatalf("fleet alerts inside quiet period = %d, want 1", got)
 	}
 	clock.advance(time.Minute)
-	a.alertSLOBurn()
+	evalRound(a)
 	if got := count(); got != 2 {
 		t.Fatalf("fleet alerts after quiet period = %d, want 2", got)
 	}
